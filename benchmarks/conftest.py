@@ -1,0 +1,24 @@
+"""Shared benchmark plumbing: every bench renders its table/figure to
+stdout and to ``benchmarks/results/<name>.txt`` so the artifacts survive
+pytest's output capture."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,28 @@
+"""Fig 3: NPB relative speedup on the Rocket configurations vs Banana Pi,
+single-core (a) and four-core (b)."""
+
+from repro.analysis import fig3, render_series
+
+
+def test_fig3_npb_rocket_vs_banana_pi(benchmark, record):
+    result = benchmark.pedantic(fig3, kwargs={"cls": "A"},
+                                rounds=1, iterations=1)
+    record("fig3", render_series(result))
+
+    # §5.2.1: Rocket1 vs Rocket2 show no significant difference
+    for label in result.labels:
+        r1 = result.value("Rocket1", label)
+        r2 = result.value("Rocket2", label)
+        assert abs(r1 - r2) < 0.25 * max(r1, r2), (
+            f"Rocket1 vs Rocket2 should be close on {label}")
+
+    # §5.2.1: the Fast model matches the hardware best on compute (EP)
+    for nr in (1, 4):
+        ep = f"EPx{nr}"
+        fast = result.value("FastBananaPiSim", ep)
+        slow = result.value("BananaPiSim", ep)
+        assert abs(1 - fast) < abs(1 - slow), (
+            "doubling the clock should mimic dual-issue on EP")
+
+    # EP runs slower on the single-issue Rocket models (higher runtime)
+    assert result.value("BananaPiSim", "EPx1") < 1.0

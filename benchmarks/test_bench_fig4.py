@@ -1,0 +1,30 @@
+"""Fig 4: NPB on the BOOM configurations vs MILK-V — (a) stock
+Small/Medium/Large single-core, (b) the tuned MILK-V model on 1/4 cores."""
+
+import math
+
+from repro.analysis import fig4, render_series
+
+
+def test_fig4_npb_boom_vs_milkv(benchmark, record):
+    result = benchmark.pedantic(fig4, kwargs={"cls": "A"},
+                                rounds=1, iterations=1)
+    record("fig4", render_series(result))
+
+    # §5.2.2: single-core EP on Large BOOM is close to the MILK-V
+    ep_large = result.value("LargeBOOM", "EPx1")
+    ep_small = result.value("SmallBOOM", "EPx1")
+    assert abs(1 - ep_large) < abs(1 - ep_small), (
+        "Large BOOM should be the closest stock config on EP")
+    assert ep_large > 0.55, "Large BOOM should approach MILK-V compute"
+
+    # §5.2.2: EP near parity for the tuned model on 1 and 4 cores
+    for nr in (1, 4):
+        v = result.value("MILKVSim", f"EPx{nr}")
+        assert 0.55 < v < 1.6, f"EPx{nr} should be near parity, got {v:.2f}"
+
+    # memory-sensitive benchmarks show the substantial gap (below parity)
+    for label in ("ISx1", "MGx1"):
+        v = result.value("MILKVSim", label)
+        assert not math.isnan(v)
+        assert v < 1.0, f"{label} should favour the hardware"

@@ -1,0 +1,34 @@
+"""Fig 5 (+ §5.3 runtime text): UME relative speedup on 1/2/4 MPI ranks
+for both platform pairs, with the paper-vs-measured comparison table."""
+
+from repro.analysis import compare_app_to_paper, fig5, render_series, render_table
+
+
+def test_fig5_ume(benchmark, record):
+    result = benchmark.pedantic(fig5, kwargs={"mesh_n": 16},
+                                rounds=1, iterations=1)
+    runtimes = result.meta["runtimes"]
+    rows = [
+        {"Platform": plat, **{f"{nr} ranks (ms)": t * 1e3
+                              for nr, t in series.items()}}
+        for plat, series in runtimes.items()
+    ]
+    text = "\n\n".join([
+        render_series(result),
+        render_table(rows, title="UME measured target runtimes"),
+        compare_app_to_paper(result),
+    ])
+    record("fig5", text)
+
+    # paper: both simulations are slower than their hardware at every rank
+    # count (BananaPi rel ~0.7, MILKV rel ~0.1-0.3)
+    for series in result.series.values():
+        assert all(v < 1.0 for v in series)
+
+    # paper: "we observe runtime scaling with MPI ranks" on all four setups
+    for plat, series in runtimes.items():
+        assert series[4] < series[1], f"{plat} must scale with ranks"
+
+    # the MILK-V gap is larger than the Banana Pi gap (§5.3)
+    assert (result.value("MILKVSim vs MILKV", "1")
+            < result.value("BananaPiSim vs BananaPi", "1"))

@@ -1,0 +1,29 @@
+"""Fig 6 (+ §5.4 runtimes): LAMMPS Lennard-Jones relative speedup on
+1/2/4 MPI ranks for both platform pairs."""
+
+from repro.analysis import compare_app_to_paper, fig6, render_series, render_table
+
+
+def test_fig6_lammps_lj(benchmark, record):
+    result = benchmark.pedantic(
+        fig6, kwargs={"natoms": 864, "steps": 5}, rounds=1, iterations=1)
+    runtimes = result.meta["runtimes"]
+    rows = [
+        {"Platform": plat, **{f"{nr} ranks (ms)": t * 1e3
+                              for nr, t in series.items()}}
+        for plat, series in runtimes.items()
+    ]
+    text = "\n\n".join([
+        render_series(result),
+        render_table(rows, title="LAMMPS-LJ measured target runtimes"),
+        compare_app_to_paper(result),
+    ])
+    record("fig6", text)
+
+    # paper: large gap — simulations much slower than hardware everywhere
+    for series in result.series.values():
+        assert all(v < 1.0 for v in series)
+
+    # paper: "we also observe speedup with the number of MPI processes"
+    for plat, series in runtimes.items():
+        assert series[4] < series[1], f"{plat} must scale with ranks"

@@ -1,0 +1,29 @@
+"""Fig 7 (+ §5.4 runtimes): LAMMPS polymer-chain relative speedup on
+1/2/4 MPI ranks for both platform pairs."""
+
+from repro.analysis import compare_app_to_paper, fig7, render_series, render_table
+
+
+def test_fig7_lammps_chain(benchmark, record):
+    result = benchmark.pedantic(
+        fig7, kwargs={"natoms": 768, "steps": 5}, rounds=1, iterations=1)
+    runtimes = result.meta["runtimes"]
+    rows = [
+        {"Platform": plat, **{f"{nr} ranks (ms)": t * 1e3
+                              for nr, t in series.items()}}
+        for plat, series in runtimes.items()
+    ]
+    text = "\n\n".join([
+        render_series(result),
+        render_table(rows, title="LAMMPS-Chain measured target runtimes"),
+        compare_app_to_paper(result),
+    ])
+    record("fig7", text)
+
+    for series in result.series.values():
+        assert all(v < 1.0 for v in series)
+
+    # paper: "good MPI performance scaling can be observed in all
+    # hardware configurations"
+    for plat, series in runtimes.items():
+        assert series[4] < series[1], f"{plat} must scale with ranks"

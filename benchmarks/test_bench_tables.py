@@ -1,0 +1,54 @@
+"""Benches for the paper's tables: 1 (MicroBench inventory), 2 (NPB apps),
+4 (FireSim models), 5 (hardware vs sim specs), and the §3.2.2 host rates."""
+
+import pytest
+
+from repro.analysis import hostrate, render_table, table1, table2, table4, table5
+from repro.analysis.data import PAPER_HOST_RATES
+
+
+def test_table1_inventory(benchmark, record):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    assert len(rows) == 40
+    broken = [r for r in rows if "broken" in r["Status"]]
+    assert [r["Name"] for r in broken] == ["CRm"]
+    record("table1", render_table(rows, title="Table 1: MicroBench kernels"))
+
+
+def test_table2_inventory(benchmark, record):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    assert [r["Benchmark"] for r in rows] == ["CG", "EP", "IS", "MG"]
+    record("table2", render_table(rows, title="Table 2: NPB apps (class A)"))
+
+
+def test_table4(benchmark, record):
+    rows = benchmark.pedantic(table4, rounds=1, iterations=1)
+    by_name = {r["Model"]: r for r in rows}
+    # paper Table 4 front-end / RoB / LSQ values
+    assert by_name["Rocket1"]["Front End"] == "Fetch:2, Decode:1"
+    assert by_name["SmallBOOM"]["RoB"] == "RoB:32"
+    assert by_name["MediumBOOM"]["RoB"] == "RoB:64"
+    assert by_name["LargeBOOM"]["RoB"] == "RoB:96"
+    assert by_name["LargeBOOM"]["LSQ"] == "Load:24, Store:24"
+    record("table4", render_table(rows, title="Table 4: FireSim models"))
+
+
+def test_table5(benchmark, record):
+    rows = benchmark.pedantic(table5, rounds=1, iterations=1)
+    mv = [r for r in rows if "SG2042" in r["Platform"]][0]
+    assert mv["HW LLC"] == "64 MiB" and mv["Sim LLC"] == "64 MiB"
+    assert "DDR4" in mv["HW memory"] and "DDR3" in mv["Sim memory"]
+    record("table5", render_table(rows, title="Table 5: HW vs sim models"))
+
+
+def test_hostrate(benchmark, record):
+    rows = benchmark.pedantic(hostrate, rounds=1, iterations=1)
+    by = {r["Design"]: r for r in rows}
+    assert by["Rocket1"]["Host MHz"] == PAPER_HOST_RATES["rocket_mhz"]
+    assert by["MILKVSim"]["Host MHz"] == PAPER_HOST_RATES["boom_mhz"]
+    assert by["Rocket1"]["Slowdown"] == pytest.approx(
+        PAPER_HOST_RATES["rocket_slowdown_approx"], rel=0.1)
+    assert by["MILKVSim"]["Slowdown"] == pytest.approx(
+        PAPER_HOST_RATES["boom_slowdown_approx"], rel=0.05)
+    record("hostrate", render_table(
+        rows, title="FireSim host rates (paper: ~25x Rocket, ~135x BOOM)"))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Multi-node scale-out study (the paper's §7 future work).
+
+FireSim's distinguishing feature is simulating *clusters*: multiple nodes
+linked by a simulated network. The paper proposes scaling the study to
+eight BXE nodes; this example performs that experiment on the model —
+NPB EP and CG across 1, 2, 4, and 8 simulated Banana-Pi-class nodes
+(4 ranks each), with on-node shared-memory MPI and 10 GbE between nodes.
+
+Run:  python examples/multinode_scaling.py
+"""
+
+from repro.analysis import render_table
+from repro.smpi import ethernet_network, run_multinode
+from repro.soc import BANANA_PI_SIM
+from repro.workloads.npb.cg import cg_program, cg_reference
+from repro.workloads.npb.ep import ep_program, ep_reference
+
+import numpy as np
+
+
+def main() -> None:
+    ghz = BANANA_PI_SIM.core_ghz
+    inter = ethernet_network(ghz, gbps=10.0, latency_us=20.0)
+    rows = []
+    ep_ref = ep_reference("W")
+    cg_ref = cg_reference("W")
+    for nnodes in (1, 2, 4, 8):
+        nranks = 4 * nnodes
+        ep = run_multinode(BANANA_PI_SIM, nnodes,
+                           lambda comm: ep_program(comm, "W"),
+                           ranks_per_node=4, inter=inter)
+        assert all(np.isclose(r.value[0], ep_ref[0], rtol=1e-8) for r in ep)
+        cg = run_multinode(BANANA_PI_SIM, nnodes,
+                           lambda comm: cg_program(comm, "W"),
+                           ranks_per_node=4, inter=inter)
+        assert all(np.isclose(r.value, cg_ref, rtol=1e-9) for r in cg)
+        rows.append({
+            "Nodes": nnodes,
+            "Ranks": nranks,
+            "EP ms": max(r.cycles for r in ep) / (ghz * 1e6),
+            "CG ms": max(r.cycles for r in cg) / (ghz * 1e6),
+            "CG comm share": (sum(r.comm_cycles for r in cg)
+                              / max(1, sum(r.cycles for r in cg))),
+        })
+    print(render_table(
+        rows,
+        title="NPB class W across simulated Banana-Pi-class nodes "
+              "(4 ranks/node, 10 GbE inter-node)",
+    ))
+    print("\nReading guide: at these reduced classes the per-rank work is "
+          "microseconds, so adding\n10 GbE nodes (20 us latency) moves both "
+          "codes onto the strong-scaling cliff — EP's\nsingle allreduce "
+          "saturates gently, while CG's allgather-per-iteration drives its\n"
+          "communication share toward 90%. Exposing exactly this trade-off "
+          "before building\nthe cluster is what multi-node FireSim is for.")
+
+
+if __name__ == "__main__":
+    main()

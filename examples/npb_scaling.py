@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""NPB strong-scaling study: class-A benchmarks on 1/2/4 MPI ranks.
+
+Reproduces the fig-3/fig-4 style comparison on a reduced class so it
+finishes in about a minute: runs CG/EP/IS/MG on the Banana Pi hardware
+model and its FireSim counterpart, prints runtimes, scaling efficiency,
+and the relative-speedup table.
+
+Run:  python examples/npb_scaling.py [--class A]  (default: W)
+"""
+
+import sys
+
+from repro.analysis import relative_speedup, render_table
+from repro.soc import BANANA_PI_HW, BANANA_PI_SIM
+from repro.workloads.npb import NPB_RUNNERS
+
+
+def main() -> None:
+    cls = "A" if "--class" in sys.argv and "A" in sys.argv else "W"
+    ranks = [1, 2, 4]
+    rows = []
+    for bench, runner in NPB_RUNNERS.items():
+        hw_times = {}
+        sim_times = {}
+        for nr in ranks:
+            hw = runner(BANANA_PI_HW, nranks=nr, cls=cls)
+            sim = runner(BANANA_PI_SIM, nranks=nr, cls=cls)
+            assert hw.verified and sim.verified, f"{bench} failed verification"
+            hw_times[nr] = hw.seconds
+            sim_times[nr] = sim.seconds
+        row = {"Benchmark": f"{bench}.{cls}"}
+        for nr in ranks:
+            row[f"rel x{nr}"] = relative_speedup(hw_times[nr], sim_times[nr])
+        row["HW scaling 1->4"] = hw_times[1] / hw_times[4]
+        row["Sim scaling 1->4"] = sim_times[1] / sim_times[4]
+        rows.append(row)
+        print(f"{bench}: hw {1e3 * hw_times[1]:.2f} ms -> "
+              f"{1e3 * hw_times[4]:.2f} ms | sim {1e3 * sim_times[1]:.2f} ms "
+              f"-> {1e3 * sim_times[4]:.2f} ms")
+
+    print()
+    print(render_table(
+        rows,
+        title=f"NPB class {cls}: relative speedup (BananaPiSim vs Banana Pi) "
+              "and strong scaling",
+    ))
+    print("\nReading guide: rel < 1 means the FireSim model runs slower than "
+          "the hardware;\nEP (compute-bound) sits closest to parity, "
+          "IS/MG (memory) furthest — the paper's fig-3 shape.")
+
+
+if __name__ == "__main__":
+    main()

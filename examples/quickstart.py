@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one kernel on FireSim and on "real hardware".
+
+The study's core loop in ~40 lines: build a microbenchmark trace, run it
+on a FireSim design (with its FPGA host-time estimate) and on the Banana
+Pi reference model, and compute the paper's relative-speedup metric.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import relative_speedup
+from repro.firesim import FireSimManager
+from repro.silicon import banana_pi
+from repro.soc import BANANA_PI_SIM
+from repro.workloads.microbench import get_kernel
+
+
+def main() -> None:
+    # 1. pick a kernel from the MicroBench suite (Table 1)
+    kernel = get_kernel("MD")  # cache-resident linked-list traversal
+    trace = kernel.build(scale=0.5)
+    print(f"kernel {kernel.spec.name}: {len(trace)} dynamic micro-ops "
+          f"({kernel.spec.description})")
+
+    # 2. simulate it on the tuned Banana Pi FireSim model
+    firesim = FireSimManager(BANANA_PI_SIM)
+    firesim.run_trace(trace)          # warmup pass (train caches/predictors)
+    sim = firesim.run_trace(trace)
+    print(f"  FireSim   : {sim.target_seconds * 1e6:8.1f} us target time, "
+          f"~{sim.host_seconds:.2f} s on the FPGA host "
+          f"({sim.slowdown:.0f}x slowdown)")
+
+    # 3. time it on the Banana Pi hardware reference
+    hw = banana_pi().time_trace(trace)
+    print(f"  Banana Pi : {hw.seconds * 1e6:8.1f} us measured")
+
+    # 4. the paper's metric: hardware_time / simulated_time (1.0 = match)
+    rel = relative_speedup(hw.seconds, sim.target_seconds)
+    print(f"  relative speedup = {rel:.3f} "
+          f"({'simulation faster' if rel > 1 else 'hardware faster'})")
+
+
+if __name__ == "__main__":
+    main()

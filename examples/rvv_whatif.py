@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""What did disabling the vector units cost? (extension study)
+
+The paper instantiates its FireSim cores "without enabling vector units"
+(§3.1) even though the Banana Pi's K1 implements 256-bit RVV 1.0 — a
+necessary concession, since Rocket has no vector unit to enable.  This
+example quantifies the concession: run the scalar data-parallel kernels
+and their RVV twins on the K1 model with its vector unit switched on.
+
+Run:  python examples/rvv_whatif.py
+"""
+
+import dataclasses
+
+from repro.analysis import render_table
+from repro.core.vector import VectorConfig
+from repro.soc import BANANA_PI_HW, BANANA_PI_SIM, System
+from repro.workloads.microbench import get_kernel
+from repro.workloads.microbench.vectorbench import VECTOR_TWINS, vector_twin
+
+SCALE = 0.4
+
+
+def timed(system, trace, ghz):
+    system.run(trace)  # warm
+    return system.run(trace).cycles / (ghz * 1e9)
+
+
+def main() -> None:
+    k1_rvv = BANANA_PI_HW.with_(
+        name="K1+RVV",
+        inorder=dataclasses.replace(
+            BANANA_PI_HW.inorder,
+            vector=VectorConfig(vlen_bits=256, lane_bits=256,
+                                mem_bits_per_cycle=128),
+        ),
+    )
+    rows = []
+    for scalar_name in sorted(VECTOR_TWINS):
+        scalar_trace = get_kernel(scalar_name).build(scale=SCALE)
+        vector_trace = vector_twin(scalar_name).build(scale=SCALE)
+        t_sim = timed(System(BANANA_PI_SIM), scalar_trace, 1.6)
+        t_scalar = timed(System(k1_rvv), scalar_trace, 1.6)
+        t_vector = timed(System(k1_rvv), vector_trace, 1.6)
+        rows.append({
+            "Kernel": scalar_name,
+            "FireSim scalar (us)": t_sim * 1e6,
+            "K1 scalar (us)": t_scalar * 1e6,
+            "K1 RVV (us)": t_vector * 1e6,
+            "RVV speedup": t_scalar / t_vector,
+            "sim/HW gap if RVV used": t_vector / t_sim,
+        })
+    print(render_table(
+        rows,
+        title="RVV what-if: the K1's 256-bit vector unit on the "
+              "data-parallel kernels",
+    ))
+    print("\nWith RVV enabled, the hardware pulls several times further "
+          "ahead of the scalar-only\nFireSim model — the validation gap the "
+          "paper measured is a *floor*, not a ceiling.")
+
+
+if __name__ == "__main__":
+    main()

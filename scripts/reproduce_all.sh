@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, every paper artifact, EXPERIMENTS.md.
+# Takes roughly 30-60 minutes on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/3 test suite =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== 2/3 benchmark harness (all tables, figures, ablations) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== 3/3 EXPERIMENTS.md =="
+python scripts/generate_experiments_md.py
+
+echo "done: see benchmarks/results/, EXPERIMENTS.md"

@@ -1,0 +1,32 @@
+"""repro — Bridging Simulation and Silicon (FireSim vs RISC-V hardware).
+
+A Python reproduction of the SC 2025 RISCV-HPC study comparing FireSim
+simulation models (Rocket / BOOM tiles, Chipyard-style configs) against
+commercial RISC-V silicon (Banana Pi BPI-F3 / SpacemiT K1 and MILK-V
+Pioneer / SOPHON SG2042).
+
+Subpackages
+-----------
+``repro.isa``
+    Micro-op trace IR, RV64IMFD encoder/assembler/interpreter.
+``repro.core``
+    In-order and out-of-order core timing models, branch predictors.
+``repro.mem``
+    Caches, TLBs, buses, LLC models, DDR3/DDR4/LPDDR4 DRAM timing.
+``repro.soc``
+    Chipyard-like SoC configuration and multi-tile systems.
+``repro.firesim``
+    FireSim-style simulation manager and FPGA host-rate model.
+``repro.silicon``
+    Reference "hardware" models standing in for the physical boards.
+``repro.smpi``
+    Simulated MPI runtime for multi-rank workloads.
+``repro.workloads``
+    MicroBench (40 kernels), NPB (CG/EP/IS/MG), UME, LAMMPS-mini.
+``repro.analysis``
+    Relative-speedup metric, tuning loop, experiment registry, reports.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

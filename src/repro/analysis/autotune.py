@@ -1,0 +1,114 @@
+"""Automated model tuning: coordinate descent over config fragments.
+
+The paper tunes FireSim models *by hand*: run MicroBench, eyeball the
+mismatches, pick the next knob ("microbenchmark interpretation is not
+always straightforward... deciding which parameters to modify for improved
+fidelity is inherently ambiguous", §6).  This module mechanises that loop:
+given a base design, a target hardware model, and a menu of candidate
+knob settings (Chipyard-style fragments), it greedily applies whichever
+single change most improves the fidelity score until no candidate helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..soc.config import SoCConfig
+from ..soc.fragments import (
+    Fragment,
+    WithBusWidth,
+    WithClock,
+    WithL2Banks,
+    compose,
+)
+from .tuning import QUICK_KERNELS, FidelityScore, fidelity
+
+__all__ = ["TuneStep", "TuneResult", "autotune", "ROCKET_KNOBS"]
+
+
+@dataclass
+class TuneStep:
+    """One accepted move of the search."""
+
+    knob: str
+    score_before: float
+    score_after: float
+
+    @property
+    def improvement(self) -> float:
+        return self.score_before - self.score_after
+
+
+@dataclass
+class TuneResult:
+    """Outcome of an autotune run."""
+
+    best: SoCConfig
+    score: FidelityScore
+    steps: list[TuneStep] = field(default_factory=list)
+    evaluations: int = 0
+
+    def summary(self) -> str:
+        lines = [f"autotuned {self.best.name}: score "
+                 f"{self.score.score:.3f} after {self.evaluations} evaluations"]
+        for s in self.steps:
+            lines.append(
+                f"  applied {s.knob}: {s.score_before:.3f} -> {s.score_after:.3f}"
+            )
+        return "\n".join(lines)
+
+
+#: the knob menu the paper actually explored on the Rocket side (§4)
+ROCKET_KNOBS: dict[str, Fragment] = {
+    "WithL2Banks(4)": WithL2Banks(4),
+    "WithBusWidth(128)": WithBusWidth(128),
+    "WithClock(3.2)": WithClock(3.2),
+}
+
+
+def autotune(base: SoCConfig, hardware: SoCConfig,
+             knobs: dict[str, Fragment] | None = None,
+             kernels: list[str] | None = None,
+             scale: float = 0.3,
+             max_rounds: int = 8,
+             min_improvement: float = 1e-3) -> TuneResult:
+    """Greedy coordinate descent: repeatedly apply the single knob that
+    most improves fidelity against *hardware*; stop when none helps.
+
+    Each knob is considered at most once (they are absolute settings, not
+    increments).  Returns the tuned config, its score, and the move log.
+    """
+    menu = dict(knobs if knobs is not None else ROCKET_KNOBS)
+    names = kernels or QUICK_KERNELS
+    current = base
+    current_score = fidelity(hardware, current, scale=scale, kernels=names)
+    evaluations = 1
+    steps: list[TuneStep] = []
+
+    for _ in range(max_rounds):
+        if not menu:
+            break
+        best_name = None
+        best_cfg = None
+        best_score = None
+        for name, frag in menu.items():
+            try:
+                candidate = compose(current, frag,
+                                    name=f"{base.name}+auto{len(steps) + 1}")
+            except ValueError:
+                continue  # knob not applicable to this design
+            score = fidelity(hardware, candidate, scale=scale, kernels=names)
+            evaluations += 1
+            if best_score is None or score.score < best_score.score:
+                best_name, best_cfg, best_score = name, candidate, score
+        if (best_score is None
+                or current_score.score - best_score.score < min_improvement):
+            break
+        steps.append(TuneStep(knob=best_name,
+                              score_before=current_score.score,
+                              score_after=best_score.score))
+        del menu[best_name]
+        current, current_score = best_cfg, best_score
+
+    return TuneResult(best=current, score=current_score, steps=steps,
+                      evaluations=evaluations)

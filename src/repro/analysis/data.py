@@ -1,0 +1,87 @@
+"""The paper's published results, transcribed for paper-vs-measured reports.
+
+Absolute runtimes come from the §5.3/§5.4 text; figure-level observations
+are recorded as the qualitative ranges/directions the prose states, since
+the figures carry no numeric tables.  EXPERIMENTS.md is generated against
+these references.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_UME_RUNTIMES",
+    "PAPER_LAMMPS_LJ_RUNTIMES",
+    "PAPER_LAMMPS_CHAIN_RUNTIMES",
+    "PAPER_FIG1_OBSERVATIONS",
+    "PAPER_FIG2_OBSERVATIONS",
+    "PAPER_HOST_RATES",
+    "PAPER_FIG4_CG_L1_IMPROVEMENT",
+    "paper_relative_speedup",
+]
+
+#: §5.3 — UME total runtimes in seconds, by platform and MPI ranks.
+PAPER_UME_RUNTIMES: dict[str, dict[int, float]] = {
+    "BananaPi": {1: 0.73, 2: 0.40, 4: 0.21},
+    "BananaPiSim": {1: 1.00, 2: 0.56, 4: 0.31},
+    "MILKV": {1: 0.15, 2: 0.03, 4: 0.016},
+    "MILKVSim": {1: 0.49, 2: 0.28, 4: 0.15},
+}
+
+#: §5.4 — LAMMPS Lennard-Jones runtimes (32 000 atoms, 100 steps), seconds.
+PAPER_LAMMPS_LJ_RUNTIMES: dict[str, dict[int, float]] = {
+    "BananaPi": {1: 13.0, 2: 8.0, 4: 4.0},
+    "BananaPiSim": {1: 55.0, 2: 28.0, 4: 15.0},
+    "MILKV": {1: 4.0, 2: 2.0, 4: 1.0},
+    "MILKVSim": {1: 21.0, 2: 11.0, 4: 5.0},
+}
+
+#: §5.4 — LAMMPS polymer-chain runtimes, seconds.
+PAPER_LAMMPS_CHAIN_RUNTIMES: dict[str, dict[int, float]] = {
+    "BananaPi": {1: 9.0, 2: 5.0, 4: 4.0},
+    "BananaPiSim": {1: 28.0, 2: 18.0, 4: 12.0},
+    "MILKV": {1: 4.0, 2: 2.0, 4: 1.0},
+    "MILKVSim": {1: 13.0, 2: 9.0, 4: 7.0},
+}
+
+#: §5.1 / Fig 1 — prose observations for the Banana Pi comparison.
+PAPER_FIG1_OBSERVATIONS = {
+    # the DRAM-bound linked-list kernels: sim reaches only 35-37 % of hw
+    "memory_rel_range": (0.35, 0.37),
+    # control flow / data / execution "underachieve pretty uniformly"
+    "cf_data_exec_below_one": True,
+    # the 2x-clock model matches those categories better...
+    "fast_model_improves_compute": True,
+    # ...but memory gets *worse* (queues lengthen at the higher clock)
+    "fast_model_hurts_memory": True,
+}
+
+#: §5.1 / Fig 2 — prose observations for the MILK-V comparison.
+PAPER_FIG2_OBSERVATIONS = {
+    "memory_rel_range": (0.28, 0.43),
+    "cf_dp_rel_range": (0.75, 1.78),
+    # instruction-cache-miss kernel substantially outperforms on FireSim
+    "mip_above_one": True,
+    # conflict-miss kernels do worse on the simulation model
+    "conflict_below_one": True,
+    # large BOOM is the best-matching of the three stock configs
+    "large_boom_best": True,
+    # dependency-chain execution kernels underperform on the sim
+    "execution_below_one": True,
+}
+
+#: §3.2.2 — FireSim host rates and slowdowns vs the target clock.
+PAPER_HOST_RATES = {
+    "rocket_mhz": 60.0,
+    "boom_mhz": 15.0,
+    "rocket_slowdown_approx": 25.0,   # "approximately 25x slower than 1.6 GHz"
+    "boom_slowdown_approx": 135.0,    # "around 135x slower than 2.0 GHz"
+}
+
+#: §5.2.2 — growing L1 from 32 to 64 KiB cut single-core CG runtime ~27.7 %.
+PAPER_FIG4_CG_L1_IMPROVEMENT = 0.277
+
+
+def paper_relative_speedup(table: dict[str, dict[int, float]], hw: str,
+                           sim: str, ranks: int) -> float:
+    """Relative speedup (hw_time / sim_time) from a published runtime table."""
+    return table[hw][ranks] / table[sim][ranks]

@@ -1,0 +1,80 @@
+"""Measurement-error analysis in the style of Desikan, Burger & Keckler.
+
+The MicroBench suite descends from "Measuring Experimental Error in
+Microprocessor Simulation" (ISCA'01) — the paper the authors cite as [8]
+— whose point is that simulation studies must quantify how much of an
+observed difference is *methodological noise* rather than architecture.
+This module runs kernels across seeds (different random data/branch
+streams, same architecture) and reports per-kernel variation, so relative
+speedups can be read against the noise floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from statistics import mean, stdev
+
+from ..soc.config import SoCConfig
+from ..workloads.microbench import run_kernel
+
+__all__ = ["KernelVariation", "seed_variation", "noise_floor"]
+
+
+@dataclass
+class KernelVariation:
+    """Run-to-run (seed-to-seed) spread of one kernel on one config."""
+
+    kernel: str
+    config: str
+    cycles: list[int] = field(default_factory=list)
+
+    @property
+    def mean_cycles(self) -> float:
+        return mean(self.cycles)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stdev / mean)."""
+        if len(self.cycles) < 2 or self.mean_cycles == 0:
+            return 0.0
+        return stdev(self.cycles) / self.mean_cycles
+
+    @property
+    def spread(self) -> float:
+        """max/min ratio across seeds."""
+        return max(self.cycles) / min(self.cycles) if self.cycles else 1.0
+
+
+def seed_variation(config: SoCConfig, kernel: str, seeds: int = 5,
+                   scale: float = 1.0) -> KernelVariation:
+    """Measure one kernel's cycle count across input seeds."""
+    if seeds < 2:
+        raise ValueError("need at least two seeds to measure variation")
+    v = KernelVariation(kernel=kernel, config=config.name)
+    for seed in range(seeds):
+        v.cycles.append(run_kernel(config, kernel, scale=scale,
+                                   seed=seed).cycles)
+    return v
+
+
+def noise_floor(config: SoCConfig, kernels: list[str], seeds: int = 5,
+                scale: float = 1.0) -> dict[str, KernelVariation]:
+    """Seed-variation for a set of kernels.
+
+    A relative-speedup difference smaller than a kernel's ``spread`` here
+    cannot be attributed to architecture — the Desikan et al. criterion.
+    """
+    return {
+        k: seed_variation(config, k, seeds=seeds, scale=scale)
+        for k in kernels
+    }
+
+
+def significant(rel_a: float, rel_b: float, variation: KernelVariation) -> bool:
+    """Is the difference between two relative speedups above the noise?"""
+    if rel_a <= 0 or rel_b <= 0:
+        raise ValueError("relative speedups must be positive")
+    gap = abs(math.log(rel_a) - math.log(rel_b))
+    noise = math.log(max(variation.spread, 1.0 + 1e-12))
+    return gap > noise

@@ -1,0 +1,128 @@
+"""``perf stat``-style counter reports.
+
+The paper's methodology leans on hardware performance counters (runtime,
+instructions, cache behaviour) gathered on both the boards and the
+simulated targets; this module produces the equivalent report for any
+config + trace pair, pulling counters from the core result and the whole
+memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.trace import Trace
+from ..soc.config import SoCConfig
+from ..soc.system import System
+
+__all__ = ["PerfReport", "perf_stat"]
+
+
+@dataclass
+class PerfReport:
+    """Counter snapshot of one run (deltas over the measured pass)."""
+
+    platform: str
+    seconds: float
+    cycles: int
+    instructions: int
+    branches: int
+    branch_misses: int
+    l1d_loads_misses: int
+    l1i_misses: int
+    l2_accesses: int
+    l2_misses: int
+    llc_accesses: int
+    llc_misses: int
+    dtlb_misses: int
+    dram_reads: int
+    dram_writes: int
+    dram_row_hit_rate: float
+    stalls: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_miss_rate(self) -> float:
+        return self.branch_misses / self.branches if self.branches else 0.0
+
+    def render(self) -> str:
+        """A `perf stat`-flavoured text block."""
+        rows = [
+            ("task-clock (target)", f"{self.seconds * 1e3:.3f} ms"),
+            ("cycles", f"{self.cycles:,}"),
+            ("instructions", f"{self.instructions:,}  # {self.ipc:.2f} IPC"),
+            ("branches", f"{self.branches:,}"),
+            ("branch-misses",
+             f"{self.branch_misses:,}  # {self.branch_miss_rate:.2%}"),
+            ("L1-dcache-misses", f"{self.l1d_loads_misses:,}"),
+            ("L1-icache-misses", f"{self.l1i_misses:,}"),
+            ("L2 accesses / misses", f"{self.l2_accesses:,} / {self.l2_misses:,}"),
+            ("LLC accesses / misses",
+             f"{self.llc_accesses:,} / {self.llc_misses:,}"),
+            ("dTLB-misses", f"{self.dtlb_misses:,}"),
+            ("DRAM reads / writes", f"{self.dram_reads:,} / {self.dram_writes:,}"),
+            ("DRAM row-hit rate", f"{self.dram_row_hit_rate:.2%}"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        body = "\n".join(f"  {k.ljust(width)}  {v}" for k, v in rows)
+        stall = ", ".join(f"{k}={v:,}" for k, v in self.stalls.items())
+        return (f"Performance counter stats for '{self.platform}':\n"
+                f"{body}\n  stall attribution: {stall}")
+
+
+def perf_stat(config: SoCConfig, trace: Trace, warmup: bool = True,
+              tile: int = 0) -> PerfReport:
+    """Run *trace* on a fresh system built from *config* and report counters.
+
+    With ``warmup`` (default) an identical pass runs first and only the
+    measured pass's deltas are reported, like timing a hot loop.
+    """
+    system = System(config)
+    port = system.tiles[tile].port
+    uncore = system.uncore
+    if warmup:
+        system.run(trace, tile=tile)
+
+    def snap():
+        llc_acc = uncore.llc.stats_accesses if uncore.llc else 0
+        llc_miss = uncore.llc.stats_misses if uncore.llc else 0
+        d = uncore.dram_stats()
+        return {
+            "l2a": uncore.l2.stats.accesses,
+            "l2m": uncore.l2.stats.misses,
+            "llca": llc_acc,
+            "llcm": llc_miss,
+            "dtlb": port.dtlb.stats.misses,
+            "dr": d["reads"],
+            "dw": d["writes"],
+            "rh": d["row_hits"],
+            "rm": d["row_misses"],
+        }
+
+    before = snap()
+    result = system.run(trace, tile=tile)
+    after = snap()
+    delta = {k: after[k] - before[k] for k in before}
+    total_rows = delta["rh"] + delta["rm"]
+    return PerfReport(
+        platform=config.name,
+        seconds=result.cycles / (config.core_ghz * 1e9),
+        cycles=result.cycles,
+        instructions=result.instructions,
+        branches=result.branches,
+        branch_misses=result.mispredicts,
+        l1d_loads_misses=result.l1d_misses,
+        l1i_misses=result.l1i_misses,
+        l2_accesses=delta["l2a"],
+        l2_misses=delta["l2m"],
+        llc_accesses=delta["llca"],
+        llc_misses=delta["llcm"],
+        dtlb_misses=delta["dtlb"],
+        dram_reads=delta["dr"],
+        dram_writes=delta["dw"],
+        dram_row_hit_rate=delta["rh"] / total_rows if total_rows else 0.0,
+        stalls=dict(result.stalls),
+    )

@@ -1,0 +1,159 @@
+"""Text rendering of experiment results: tables, bar series, and
+paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from .data import (
+    PAPER_FIG1_OBSERVATIONS,
+    PAPER_FIG2_OBSERVATIONS,
+    PAPER_LAMMPS_CHAIN_RUNTIMES,
+    PAPER_LAMMPS_LJ_RUNTIMES,
+    PAPER_UME_RUNTIMES,
+    paper_relative_speedup,
+)
+from .speedup import SeriesResult, summarize_by_category
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_category_summary",
+    "compare_app_to_paper",
+]
+
+
+def render_table(rows: list[dict], title: str = "") -> str:
+    """Fixed-width text table from a list of row dicts."""
+    if not rows:
+        return f"{title}\n(empty)"
+    cols = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c, ""))) for r in rows))
+        for c in cols
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for r in rows:
+        lines.append(" | ".join(_fmt(r.get(c, "")).ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v != v:  # nan
+            return "-"
+        return f"{v:.3f}" if abs(v) < 100 else f"{v:.1f}"
+    return str(v)
+
+
+def render_series(result: SeriesResult, bar_width: int = 30,
+                  target: float = 1.0) -> str:
+    """Per-label bars of relative speedup (| marks the target of 1.0)."""
+    lines = [f"== {result.experiment}: relative speedup "
+             f"(hardware_time / simulated_time; {target:.1f} = match) =="]
+    vmax = max(
+        (v for vals in result.series.values() for v in vals if v == v),
+        default=1.0,
+    )
+    scale = bar_width / max(vmax, target * 1.25)
+    for sname, vals in result.series.items():
+        lines.append(f"-- {sname} --")
+        for label, v in zip(result.labels, vals):
+            if v != v:
+                lines.append(f"  {label:>12}      -")
+                continue
+            bar = "#" * max(1, int(round(v * scale)))
+            mark = int(round(target * scale))
+            bar = (bar + " " * bar_width)[: max(bar_width, mark + 1)]
+            bar = bar[:mark] + "|" + bar[mark + 1:]
+            lines.append(f"  {label:>12} {v:6.3f} {bar.rstrip()}")
+    return "\n".join(lines)
+
+
+def render_category_summary(result: SeriesResult) -> str:
+    """Geomean relative speedup per kernel category (fig1/fig2 view)."""
+    cats = result.meta.get("categories")
+    if not cats:
+        return "(no category metadata)"
+    summary = summarize_by_category(result, cats)
+    rows = []
+    for sname, per_cat in summary.items():
+        row: dict[str, object] = {"Config": sname}
+        row.update({c: v for c, v in per_cat.items()})
+        rows.append(row)
+    return render_table(rows, title=f"{result.experiment}: geomean by category")
+
+
+_PAPER_APP_TABLES = {
+    "fig5": ("UME", PAPER_UME_RUNTIMES),
+    "fig6": ("LAMMPS-LJ", PAPER_LAMMPS_LJ_RUNTIMES),
+    "fig7": ("LAMMPS-Chain", PAPER_LAMMPS_CHAIN_RUNTIMES),
+}
+
+
+def compare_app_to_paper(result: SeriesResult) -> str:
+    """Paper-vs-measured relative speedups for the fig5/6/7 experiments."""
+    if result.experiment not in _PAPER_APP_TABLES:
+        raise KeyError(f"no paper runtime table for {result.experiment}")
+    app, table = _PAPER_APP_TABLES[result.experiment]
+    rows = []
+    for pair, hw_name, sim_name in (
+        ("BananaPi", "BananaPi", "BananaPiSim"),
+        ("MILKV", "MILKV", "MILKVSim"),
+    ):
+        series_name = f"{pair}Sim vs {pair}"
+        for label, measured in zip(result.labels,
+                                   result.series[series_name]):
+            nr = int(label)
+            paper = paper_relative_speedup(table, hw_name, sim_name, nr)
+            rows.append(
+                {
+                    "App": app,
+                    "Pair": pair,
+                    "Ranks": nr,
+                    "Paper rel": paper,
+                    "Measured rel": measured,
+                    "Same side of 1.0": ("yes" if (paper < 1) == (measured < 1)
+                                         else "NO"),
+                }
+            )
+    return render_table(rows, title=f"{result.experiment} ({app}): paper vs measured")
+
+
+def fig1_checks(result: SeriesResult) -> dict[str, bool]:
+    """Evaluate the paper's Fig-1 prose claims against a measured result."""
+    cats = result.meta["categories"]
+    summary = summarize_by_category(result, cats)
+    slow = summary["BananaPiSim"]
+    fast = summary["FastBananaPiSim"]
+    lo, hi = PAPER_FIG1_OBSERVATIONS["memory_rel_range"]
+    return {
+        "memory_below_one": slow["Memory"] < 1.0,
+        "memory_in_paper_ballpark": slow["Memory"] < 0.75,
+        "cf_data_exec_below_one": all(
+            slow[c] < 1.0 for c in ("Control Flow", "Data", "Execution")
+        ),
+        "fast_model_improves_compute": all(
+            fast[c] > slow[c] for c in ("Control Flow", "Data", "Execution")
+        ),
+        "fast_model_hurts_memory": fast["Memory"] < slow["Memory"],
+    }
+
+
+def fig2_checks(result: SeriesResult) -> dict[str, bool]:
+    """Evaluate the paper's Fig-2 prose claims against a measured result."""
+    cats = result.meta["categories"]
+    summary = summarize_by_category(result, cats)
+    milkv = summary["MILKVSim"]
+    geomeans = {s: result.geomean(s) for s in result.series}
+    stock = {k: v for k, v in geomeans.items() if k != "MILKVSim"}
+    return {
+        "memory_below_one": milkv["Memory"] < 1.0,
+        "mip_above_one": result.value("MILKVSim", "MIP") > 1.0,
+        "conflict_below_one": result.value("MILKVSim", "MC") < 1.0,
+        "execution_below_one": milkv["Execution"] < 1.0,
+        "large_boom_best_stock": max(stock, key=stock.get) == "LargeBOOM",
+    }

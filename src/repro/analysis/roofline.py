@@ -1,0 +1,112 @@
+"""Roofline analysis of kernels on the modeled machines.
+
+Places each measured run on the classic roofline: achieved FLOP rate vs
+arithmetic intensity against the machine's compute ceiling (FP issue
+throughput x clock) and memory ceiling (DRAM peak bandwidth).  Useful for
+explaining *why* a kernel lands where it does in the fig-1/fig-2 bars —
+DRAM-bound kernels track the memory model differences, compute-bound ones
+track issue width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.trace import Trace
+from ..soc.config import SoCConfig
+from ..soc.system import System
+
+__all__ = ["MachineRoofs", "RooflinePoint", "machine_roofs", "roofline_point"]
+
+
+@dataclass(frozen=True)
+class MachineRoofs:
+    """The two ceilings of a modeled machine."""
+
+    platform: str
+    peak_gflops: float        #: FP ops/cycle x GHz
+    peak_gbytes: float        #: DRAM pin bandwidth
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOP/byte at which the roofline bends."""
+        return self.peak_gflops / self.peak_gbytes
+
+    def attainable_gflops(self, intensity: float) -> float:
+        if intensity <= 0:
+            return 0.0
+        return min(self.peak_gflops, self.peak_gbytes * intensity)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's measured position."""
+
+    kernel: str
+    platform: str
+    intensity: float          #: FLOPs per byte of DRAM traffic
+    achieved_gflops: float
+    attainable_gflops: float
+    bound: str                #: "memory" | "compute"
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved as a fraction of attainable at this intensity."""
+        return (self.achieved_gflops / self.attainable_gflops
+                if self.attainable_gflops else 0.0)
+
+
+def machine_roofs(config: SoCConfig) -> MachineRoofs:
+    """Compute ceilings from a config's FP issue width, clock, and DRAM."""
+    if config.core_type == "inorder":
+        # one FP op per issue slot at best
+        fp_per_cycle = float(config.inorder.issue_width)
+    else:
+        fp_per_cycle = float(config.ooo.fp_issue)
+    return MachineRoofs(
+        platform=config.name,
+        peak_gflops=fp_per_cycle * config.core_ghz * config.ncores,
+        peak_gbytes=config.hierarchy.dram.peak_bandwidth_gbps,
+    )
+
+
+def roofline_point(config: SoCConfig, trace: Trace, kernel: str = "kernel",
+                   warmup: bool = True) -> RooflinePoint:
+    """Run *trace* single-core and place it on the machine's roofline.
+
+    DRAM traffic is measured from the memory model (reads + writes x line
+    size), not estimated from the op mix — so cache-resident kernels get
+    their true (huge) intensity.
+    """
+    system = System(config)
+    if warmup:
+        system.run(trace)
+    before = system.uncore.dram_stats()
+    result = system.run(trace)
+    after = system.uncore.dram_stats()
+
+    flops = int(trace.stats().fp_ops)
+    line = config.hierarchy.l1d.line_bytes
+    dram_bytes = ((after["reads"] - before["reads"])
+                  + (after["writes"] - before["writes"])) * line
+    seconds = result.cycles / (config.core_ghz * 1e9)
+    achieved = flops / seconds / 1e9 if seconds else 0.0
+
+    roofs = machine_roofs(config)
+    # single-core run: compare against one core's compute ceiling
+    single = MachineRoofs(roofs.platform,
+                          roofs.peak_gflops / config.ncores,
+                          roofs.peak_gbytes)
+    intensity = flops / dram_bytes if dram_bytes else float("inf")
+    attainable = (single.peak_gflops if dram_bytes == 0
+                  else single.attainable_gflops(intensity))
+    bound = ("compute" if intensity >= single.ridge_intensity
+             else "memory")
+    return RooflinePoint(
+        kernel=kernel,
+        platform=config.name,
+        intensity=intensity,
+        achieved_gflops=achieved,
+        attainable_gflops=attainable,
+        bound=bound,
+    )

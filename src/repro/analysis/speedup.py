@@ -1,0 +1,71 @@
+"""Relative-speedup metric and result containers.
+
+The paper's §5 metric: ``relative speedup = hardware_time / simulated_time``
+— 1.0 is a perfect match, 1.2 means the simulation runs 20 % *faster* than
+the hardware, below 1.0 the simulation is slower (the common case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import geometric_mean
+
+__all__ = ["relative_speedup", "SeriesResult", "summarize_by_category"]
+
+
+def relative_speedup(hw_seconds: float, sim_seconds: float) -> float:
+    """hardware_time / simulated_time (paper §5). 1.0 = exact match."""
+    if hw_seconds <= 0 or sim_seconds <= 0:
+        raise ValueError("times must be positive")
+    return hw_seconds / sim_seconds
+
+
+@dataclass
+class SeriesResult:
+    """One figure's worth of data: labels on the x-axis, one series of
+    relative speedups per simulated configuration."""
+
+    experiment: str
+    labels: list[str]
+    series: dict[str, list[float]]
+    #: optional extra context (absolute runtimes, categories, params)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, vals in self.series.items():
+            if len(vals) != len(self.labels):
+                raise ValueError(
+                    f"series {name!r} has {len(vals)} values for "
+                    f"{len(self.labels)} labels"
+                )
+
+    def value(self, series: str, label: str) -> float:
+        return self.series[series][self.labels.index(label)]
+
+    def geomean(self, series: str) -> float:
+        return geometric_mean(self.series[series])
+
+    def subset(self, labels: list[str]) -> "SeriesResult":
+        """Restrict to a subset of labels (e.g. one kernel category)."""
+        idx = [self.labels.index(l) for l in labels]
+        return SeriesResult(
+            experiment=self.experiment,
+            labels=list(labels),
+            series={k: [v[i] for i in idx] for k, v in self.series.items()},
+            meta=dict(self.meta),
+        )
+
+
+def summarize_by_category(result: SeriesResult,
+                          categories: dict[str, list[str]]) -> dict[str, dict[str, float]]:
+    """Geometric-mean relative speedup per (series, category)."""
+    out: dict[str, dict[str, float]] = {}
+    for sname in result.series:
+        out[sname] = {}
+        for cat, names in categories.items():
+            present = [n for n in names if n in result.labels]
+            if not present:
+                continue
+            sub = result.subset(present)
+            out[sname][cat] = sub.geomean(sname)
+    return out

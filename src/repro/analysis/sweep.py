@@ -1,0 +1,81 @@
+"""Parameter sweeps: run one kernel across configurations or knob values.
+
+The experiment registry reproduces the paper's fixed design points; sweeps
+answer the follow-on questions ("how does MM scale with tCTRL?", "where
+does the L1-size benefit saturate?") with one call each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..soc.config import SoCConfig
+from ..soc.fragments import Fragment, compose
+from ..workloads.microbench import run_kernel
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_configs", "sweep_knob"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (setting, measurement) pair."""
+
+    label: str
+    cycles: int
+    seconds: float
+
+    @property
+    def row(self) -> dict[str, object]:
+        return {"Setting": self.label, "Cycles": self.cycles,
+                "us": self.seconds * 1e6}
+
+
+@dataclass
+class SweepResult:
+    """Ordered sweep measurements for one kernel."""
+
+    kernel: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [p.row for p in self.points]
+
+    def speedup(self) -> float:
+        """First setting's time over the last's (the sweep's total effect)."""
+        if len(self.points) < 2:
+            return 1.0
+        return self.points[0].seconds / self.points[-1].seconds
+
+    def best(self) -> SweepPoint:
+        return min(self.points, key=lambda p: p.seconds)
+
+
+def sweep_configs(configs: Sequence[SoCConfig], kernel: str,
+                  scale: float = 1.0, seed: int = 0) -> SweepResult:
+    """Run *kernel* on each config (the fig-1/fig-2 inner loop, exposed)."""
+    result = SweepResult(kernel=kernel)
+    for cfg in configs:
+        run = run_kernel(cfg, kernel, scale=scale, seed=seed)
+        result.points.append(
+            SweepPoint(label=cfg.name, cycles=run.cycles, seconds=run.seconds)
+        )
+    return result
+
+
+def sweep_knob(base: SoCConfig, make_fragment: Callable[[object], Fragment],
+               values: Iterable[object], kernel: str,
+               scale: float = 1.0, seed: int = 0) -> SweepResult:
+    """Sweep one knob: ``make_fragment(v)`` builds the override per value.
+
+    >>> from repro.soc.fragments import WithL2Banks
+    >>> sweep_knob(ROCKET1, WithL2Banks, [1, 2, 4, 8], "ML2_BW_ld")
+    """
+    result = SweepResult(kernel=kernel)
+    for v in values:
+        cfg = compose(base, make_fragment(v), name=f"{base.name}[{v}]")
+        run = run_kernel(cfg, kernel, scale=scale, seed=seed)
+        result.points.append(
+            SweepPoint(label=str(v), cycles=run.cycles, seconds=run.seconds)
+        )
+    return result

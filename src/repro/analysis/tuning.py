@@ -1,0 +1,99 @@
+"""Microbenchmark-guided model tuning (the paper's §4 methodology).
+
+The paper tunes FireSim configurations by running the MicroBench suite on
+candidate models and the target hardware, then picking the candidate whose
+performance profile sits closest to the hardware's: Rocket1 -> Rocket2 ->
+Banana Pi Sim Model for the K1, and Small/Medium/Large BOOM -> the tuned
+MILK-V model for the SG2042.  This module provides the fidelity metric and
+the selection loop as reusable tools.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..soc.config import SoCConfig
+from ..soc.presets import (
+    BANANA_PI_HW,
+    BANANA_PI_SIM,
+    FAST_BANANA_PI_SIM,
+    LARGE_BOOM,
+    MEDIUM_BOOM,
+    MILKV_HW,
+    MILKV_SIM,
+    ROCKET1,
+    ROCKET2,
+    SMALL_BOOM,
+)
+from ..workloads.microbench import run_suite
+from .speedup import relative_speedup
+
+__all__ = ["FidelityScore", "fidelity", "rank_candidates",
+           "tune_for_banana_pi", "tune_for_milkv"]
+
+#: a representative subset covering all five categories, used when a full
+#: 39-kernel sweep is too slow (tests, quick tuning passes)
+QUICK_KERNELS = ["Cca", "CCh", "CS1", "DP1d", "DPT", "ED1", "EI",
+                 "MC", "MD", "MIP", "ML2_BW_ld", "STc", "MM"]
+
+
+@dataclass
+class FidelityScore:
+    """How close a simulated model's profile is to the hardware's.
+
+    ``score`` is the mean absolute log2 of per-kernel relative speedup —
+    0.0 means every kernel matches exactly; 1.0 means kernels are off by
+    2x on (geometric) average.
+    """
+
+    config: str
+    score: float
+    per_kernel: dict[str, float] = field(default_factory=dict)
+
+    def worst(self, n: int = 3) -> list[tuple[str, float]]:
+        """The n kernels with the largest mismatch (tuning targets)."""
+        return sorted(self.per_kernel.items(),
+                      key=lambda kv: -abs(math.log2(kv[1])))[:n]
+
+
+def fidelity(hw_cfg: SoCConfig, sim_cfg: SoCConfig, scale: float = 1.0,
+             kernels: list[str] | None = None) -> FidelityScore:
+    """Score *sim_cfg* against *hw_cfg* over the microbenchmark suite."""
+    names = kernels or QUICK_KERNELS
+    hw = run_suite(hw_cfg, scale=scale, kernels=names)
+    sim = run_suite(sim_cfg, scale=scale, kernels=names)
+    rel = {n: relative_speedup(hw[n].seconds, sim[n].seconds) for n in names}
+    score = sum(abs(math.log2(v)) for v in rel.values()) / len(rel)
+    return FidelityScore(config=sim_cfg.name, score=score, per_kernel=rel)
+
+
+def rank_candidates(hw_cfg: SoCConfig, candidates: list[SoCConfig],
+                    scale: float = 1.0,
+                    kernels: list[str] | None = None) -> list[FidelityScore]:
+    """Score all candidates and return them best-first."""
+    scores = [fidelity(hw_cfg, c, scale=scale, kernels=kernels)
+              for c in candidates]
+    return sorted(scores, key=lambda s: s.score)
+
+
+def tune_for_banana_pi(scale: float = 1.0,
+                       kernels: list[str] | None = None) -> list[FidelityScore]:
+    """Reproduce the paper's Rocket-side tuning walk: evaluate Rocket1,
+    Rocket2, the Banana Pi Sim Model, and the Fast (2x clock) variant."""
+    return rank_candidates(
+        BANANA_PI_HW,
+        [ROCKET1, ROCKET2, BANANA_PI_SIM, FAST_BANANA_PI_SIM],
+        scale=scale, kernels=kernels,
+    )
+
+
+def tune_for_milkv(scale: float = 1.0,
+                   kernels: list[str] | None = None) -> list[FidelityScore]:
+    """Reproduce the BOOM-side tuning walk: Small/Medium/Large BOOM plus
+    the cache-retuned MILK-V Sim Model."""
+    return rank_candidates(
+        MILKV_HW,
+        [SMALL_BOOM, MEDIUM_BOOM, LARGE_BOOM, MILKV_SIM],
+        scale=scale, kernels=kernels,
+    )

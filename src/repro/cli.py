@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list configs|kernels|experiments``
+    Inventories of the named SoC models, MicroBench kernels, and
+    table/figure experiments.
+``kernel NAME --config CFG [--scale S]``
+    Run one microbenchmark on one configuration.
+``compare NAME [--scale S]``
+    Run one kernel on a hardware model and its FireSim counterpart and
+    print the relative speedup.
+``npb BENCH --config CFG [--ranks N] [--cls C]``
+    Run an NPB benchmark (verified against the serial reference).
+``perf NAME --config CFG [--scale S] [--cold]``
+    perf-stat style counters for one kernel on one configuration.
+``experiment ID [--out FILE]``
+    Regenerate a paper table/figure (fig1..fig7, table1/2/4/5, hostrate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    EXPERIMENTS,
+    relative_speedup,
+    render_series,
+    render_table,
+)
+from .analysis.speedup import SeriesResult
+from .soc import ALL_CONFIGS, BANANA_PI_HW, BANANA_PI_SIM, MILKV_HW, MILKV_SIM, get_config
+from .workloads.microbench import get_kernel, run_kernel, runnable_kernels
+from .workloads.npb import NPB_RUNNERS
+
+__all__ = ["main", "build_parser"]
+
+#: hardware model -> its tuned FireSim counterpart (for `compare`)
+_PAIRS = {
+    "BananaPi-K1": (BANANA_PI_HW, BANANA_PI_SIM),
+    "MILKV-SG2042": (MILKV_HW, MILKV_SIM),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Bridging Simulation and Silicon - reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    lst = sub.add_parser("list", help="inventories")
+    lst.add_argument("what", choices=["configs", "kernels", "experiments"])
+
+    k = sub.add_parser("kernel", help="run one microbenchmark")
+    k.add_argument("name")
+    k.add_argument("--config", default="Rocket1")
+    k.add_argument("--scale", type=float, default=1.0)
+
+    c = sub.add_parser("compare", help="kernel on hardware vs FireSim pair")
+    c.add_argument("name")
+    c.add_argument("--pair", choices=sorted(_PAIRS), default="BananaPi-K1")
+    c.add_argument("--scale", type=float, default=1.0)
+
+    n = sub.add_parser("npb", help="run an NPB benchmark")
+    n.add_argument("bench", choices=sorted(NPB_RUNNERS))
+    n.add_argument("--config", default="Rocket1")
+    n.add_argument("--ranks", type=int, default=1)
+    n.add_argument("--cls", default="A", choices=["S", "W", "A"])
+
+    pf = sub.add_parser("perf", help="perf-stat counters for a kernel")
+    pf.add_argument("name")
+    pf.add_argument("--config", default="Rocket1")
+    pf.add_argument("--scale", type=float, default=1.0)
+    pf.add_argument("--cold", action="store_true", help="skip the warmup pass")
+
+    e = sub.add_parser("experiment", help="regenerate a paper artifact")
+    e.add_argument("id", choices=sorted(EXPERIMENTS))
+    e.add_argument("--out", default=None, help="also write the text here")
+    return p
+
+
+def _render(result) -> str:
+    if isinstance(result, SeriesResult):
+        return render_series(result)
+    return render_table(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        if args.what == "configs":
+            for name, cfg in ALL_CONFIGS.items():
+                kind = "silicon" if cfg.is_silicon else "firesim"
+                print(f"{name:18} {kind:8} {cfg.ncores}x {cfg.core_type} "
+                      f"@ {cfg.core_ghz} GHz")
+        elif args.what == "kernels":
+            for kern in runnable_kernels():
+                s = kern.spec
+                print(f"{s.name:12} {s.category:14} {s.description}")
+        else:
+            for eid, fn in EXPERIMENTS.items():
+                doc = (fn.__doc__ or "").strip().splitlines()[0]
+                print(f"{eid:10} {doc}")
+        return 0
+
+    if args.command == "kernel":
+        run = run_kernel(get_config(args.config), args.name, scale=args.scale)
+        r = run.result
+        print(f"{args.name} on {args.config}: {r.cycles} cycles, "
+              f"CPI {r.cpi:.2f}, {run.seconds * 1e6:.1f} us, "
+              f"{r.mispredicts} mispredicts, {r.l1d_misses} L1D misses")
+        return 0
+
+    if args.command == "compare":
+        hw_cfg, sim_cfg = _PAIRS[args.pair]
+        hw = run_kernel(hw_cfg, args.name, scale=args.scale)
+        sim = run_kernel(sim_cfg, args.name, scale=args.scale)
+        rel = relative_speedup(hw.seconds, sim.seconds)
+        print(f"{args.name}: {hw_cfg.name} {hw.seconds * 1e6:.1f} us | "
+              f"{sim_cfg.name} {sim.seconds * 1e6:.1f} us | "
+              f"relative speedup {rel:.3f}")
+        return 0
+
+    if args.command == "perf":
+        from .analysis.perf import perf_stat
+        from .workloads.microbench import get_kernel as _gk
+
+        kern = _gk(args.name)
+        trace = kern.build(scale=max(args.scale, kern.min_harness_scale))
+        rep = perf_stat(get_config(args.config), trace,
+                        warmup=not args.cold and kern.needs_warmup)
+        print(rep.render())
+        return 0
+
+    if args.command == "npb":
+        res = NPB_RUNNERS[args.bench](get_config(args.config),
+                                      nranks=args.ranks, cls=args.cls)
+        print(res)
+        return 0 if res.verified else 1
+
+    # experiment
+    text = _render(EXPERIMENTS[args.id]())
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""RVV vector-unit timing model (in-order attach).
+
+The SpacemiT K1 implements the 256-bit RISC-V Vector extension v1.0
+(paper §3.1.2), but the study ran everything scalar because the FireSim
+Rocket/BOOM targets have no vector unit.  This model answers the obvious
+follow-up — *how much was left on the table?* — by letting the in-order
+core execute vector micro-ops:
+
+* ``VALU``/``VFMA`` occupy the vector datapath for ``ceil(vl_bits /
+  lane_bits)`` cycles (a 256-bit op on a 128-bit datapath takes 2 beats);
+* ``VLOAD``/``VSTORE`` touch every cache line under the vector access and
+  are additionally throughput-limited by the unit's memory width;
+* the scalar pipelines are untouched, so scalar-only traces time
+  identically whether or not a vector unit is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VectorConfig"]
+
+
+@dataclass(frozen=True)
+class VectorConfig:
+    """Vector-unit resources.
+
+    ``vlen_bits`` is the architectural register length; ``lane_bits`` the
+    execution datapath per cycle; ``mem_bits_per_cycle`` the load/store
+    path into the L1.
+    """
+
+    vlen_bits: int = 256
+    lane_bits: int = 128
+    mem_bits_per_cycle: int = 128
+    #: startup cycles per vector instruction (sequencer overhead)
+    startup: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("vlen_bits", "lane_bits", "mem_bits_per_cycle"):
+            v = getattr(self, name)
+            if v <= 0 or v % 8:
+                raise ValueError(f"{name} must be a positive multiple of 8")
+        if self.startup < 0:
+            raise ValueError("startup must be non-negative")
+
+    def exec_beats(self, op_bits: int) -> int:
+        """Datapath beats for an arithmetic op over *op_bits* of data."""
+        return max(1, -(-op_bits // self.lane_bits))
+
+    def mem_beats(self, nbytes: int) -> int:
+        """Beats to move *nbytes* through the vector memory port."""
+        return max(1, -(-(nbytes * 8) // self.mem_bits_per_cycle))

@@ -1,0 +1,12 @@
+"""FireSim-style simulation management and FPGA host-rate modeling."""
+
+from .host import BXE_U250, HostModel, host_model_for
+from .manager import FireSimManager, SimulationReport
+
+__all__ = [
+    "HostModel",
+    "BXE_U250",
+    "host_model_for",
+    "FireSimManager",
+    "SimulationReport",
+]

@@ -1,0 +1,59 @@
+"""FPGA host-rate model: how long FireSim takes on the wall clock.
+
+FireSim simulates at MHz-class host rates (paper §3.2.2: ~60 MHz for the
+Rocket designs and ~15 MHz for BOOM on the Alveo U250s of LBNL's BXE
+cluster — roughly 25x and 135x slower than the 1.6/2.0 GHz targets).  The
+token-based DRAM/LLC models further stall the host to preserve target
+timing; we fold that into an efficiency factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HostModel", "BXE_U250", "host_model_for"]
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """One FPGA host running one target design."""
+
+    name: str
+    host_mhz: float             #: achieved simulation rate
+    fpga: str = "Xilinx Alveo U250"
+    #: fraction of host cycles doing useful target work (token stalls,
+    #: DMA, and bridge overhead eat the rest)
+    efficiency: float = 0.85
+    build_hours: float = 6.0    #: bitstream build time (Vivado P&R)
+
+    def __post_init__(self) -> None:
+        if self.host_mhz <= 0:
+            raise ValueError("host_mhz must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    def wall_seconds(self, target_cycles: int) -> float:
+        """Host wall-clock to simulate *target_cycles*."""
+        return target_cycles / (self.host_mhz * 1e6 * self.efficiency)
+
+    def slowdown(self, target_ghz: float) -> float:
+        """How much slower than the real target this simulation runs."""
+        return target_ghz * 1e3 / self.host_mhz
+
+
+@dataclass(frozen=True)
+class BXE_U250:
+    """The LBNL Berkeley eXtensible Environment cluster (paper §3.1.1)."""
+
+    nodes: int = 22
+    cpus_per_node: str = "AMD EPYC 7282 16-Core"
+    fpgas_per_node: int = 1
+
+
+def host_model_for(config) -> HostModel:
+    """Host model for a FireSim SoC config (uses its ``host_mhz``)."""
+    if config.host_mhz is None:
+        raise ValueError(
+            f"{config.name} is a silicon reference, not a FireSim design"
+        )
+    return HostModel(name=f"{config.name}@U250", host_mhz=config.host_mhz)

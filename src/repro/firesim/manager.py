@@ -1,0 +1,88 @@
+"""FireSim-style simulation manager.
+
+The manager is the user-facing entry point for "running something in
+FireSim": it builds a :class:`repro.soc.System` from a FireSim design
+(refusing silicon references), runs workloads, and reports both *target*
+time (what the simulated machine would take) and estimated *host*
+wall-clock (what the FPGA cluster spends), mirroring how the real
+``firesim`` manager reports simulation progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.trace import Trace
+from ..smpi.runtime import RankResult, run_mpi
+from ..soc.config import SoCConfig
+from ..soc.system import System
+from .host import HostModel, host_model_for
+
+__all__ = ["SimulationReport", "FireSimManager"]
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one FireSim simulation."""
+
+    design: str
+    target_cycles: int
+    target_seconds: float
+    host_seconds: float
+    slowdown: float
+    instructions: int = 0
+    ranks: list[RankResult] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.design}] target {self.target_seconds * 1e3:.3f} ms "
+            f"({self.target_cycles} cycles), host ~{self.host_seconds:.1f} s "
+            f"({self.slowdown:.0f}x slowdown)"
+        )
+
+
+class FireSimManager:
+    """Drive simulations of one FireSim design."""
+
+    def __init__(self, config: SoCConfig) -> None:
+        if config.is_silicon:
+            raise ValueError(
+                f"{config.name} is physical-hardware reference; FireSim "
+                "only simulates the Rocket/BOOM designs"
+            )
+        self.config = config
+        self.host: HostModel = host_model_for(config)
+        self.system = System(config)
+
+    def reset(self) -> None:
+        """Fresh target state (new System), as a new simulation run would."""
+        self.system = System(self.config)
+
+    # -- single-core trace workloads ------------------------------------------
+
+    def run_trace(self, trace: Trace, tile: int = 0) -> SimulationReport:
+        """Simulate a single instruction trace on one tile."""
+        result = self.system.run(trace, tile=tile)
+        return self._report(result.cycles, result.instructions)
+
+    # -- MPI workloads -------------------------------------------------------
+
+    def run_mpi(self, nranks: int, program) -> SimulationReport:
+        """Simulate an MPI rank program across the design's tiles."""
+        results = run_mpi(self.system, nranks, program)
+        cycles = max(r.cycles for r in results)
+        instrs = sum(r.instructions for r in results)
+        rep = self._report(cycles, instrs)
+        rep.ranks = results
+        return rep
+
+    def _report(self, cycles: int, instructions: int) -> SimulationReport:
+        ghz = self.config.core_ghz
+        return SimulationReport(
+            design=self.config.name,
+            target_cycles=cycles,
+            target_seconds=cycles / (ghz * 1e9),
+            host_seconds=self.host.wall_seconds(cycles),
+            slowdown=self.host.slowdown(ghz),
+            instructions=instructions,
+        )

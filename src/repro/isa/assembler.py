@@ -1,0 +1,233 @@
+"""A small two-pass assembler for the RV64IMFD subset in
+:mod:`repro.isa.encoding`.
+
+Supports labels, decimal/hex immediates, integer and floating-point ABI
+register names, ``#`` / ``;`` comments, and common pseudo-instructions
+(``li``, ``mv``, ``nop``, ``j``, ``ret``, ``call``, ``bnez``, ``beqz``,
+``fmv.d``, ``fneg.d``, ``fabs.d``).  Programs assembled here can be
+executed with :class:`repro.isa.interp.Interpreter`, which emits micro-op
+traces for the timing models.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .encoding import FP_RD, FP_RS1, FP_RS2, Instr, MNEMONICS, encode
+
+__all__ = ["assemble", "AssemblerError", "REG_NAMES", "FREG_NAMES"]
+
+
+class AssemblerError(ValueError):
+    """Raised on a malformed assembly program."""
+
+
+#: ABI name -> register index.
+REG_NAMES: dict[str, int] = {"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4, "fp": 8}
+REG_NAMES.update({f"x{i}": i for i in range(32)})
+REG_NAMES.update({f"t{i}": r for i, r in enumerate([5, 6, 7, 28, 29, 30, 31])})
+REG_NAMES.update({f"s{i}": r for i, r in enumerate([8, 9] + list(range(18, 28)))})
+REG_NAMES.update({f"a{i}": 10 + i for i in range(8)})
+
+#: FP ABI name -> register index (separate register file).
+FREG_NAMES: dict[str, int] = {f"f{i}": i for i in range(32)}
+FREG_NAMES.update({f"ft{i}": r for i, r in
+                   enumerate([0, 1, 2, 3, 4, 5, 6, 7, 28, 29, 30, 31])})
+FREG_NAMES.update({f"fs{i}": r for i, r in
+                   enumerate([8, 9] + list(range(18, 28)))})
+FREG_NAMES.update({f"fa{i}": 10 + i for i in range(8)})
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+_LABEL_RE = re.compile(r"^[A-Za-z_.][\w.]*$")
+
+_LOADS = {"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"}
+_STORES = {"sb", "sh", "sw", "sd"}
+_FP_LOADS = {"flw", "fld"}
+_FP_STORES = {"fsw", "fsd"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+
+
+def _reg(tok: str) -> int:
+    tok = tok.strip()
+    if tok not in REG_NAMES:
+        raise AssemblerError(f"unknown register {tok!r}")
+    return REG_NAMES[tok]
+
+
+def _freg(tok: str) -> int:
+    tok = tok.strip()
+    if tok not in FREG_NAMES:
+        raise AssemblerError(f"unknown fp register {tok!r}")
+    return FREG_NAMES[tok]
+
+
+def _imm(tok: str, labels: dict[str, int], pc: int, pcrel: bool) -> int:
+    tok = tok.strip()
+    try:
+        return int(tok, 0)
+    except ValueError:
+        pass
+    if tok in labels:
+        return labels[tok] - pc if pcrel else labels[tok]
+    raise AssemblerError(f"bad immediate or unknown label {tok!r}")
+
+
+def _split_lines(source: str) -> list[tuple[int, str]]:
+    out = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if line:
+            out.append((lineno, line))
+    return out
+
+
+def _expand_pseudo(mnem: str, args: list[str]) -> list[tuple[str, list[str]]]:
+    """Lower pseudo-instructions to base instructions (may expand to 2)."""
+    if mnem == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if mnem == "mv":
+        return [("addi", [args[0], args[1], "0"])]
+    if mnem == "li":
+        val = int(args[1], 0)
+        if -2048 <= val <= 2047:
+            return [("addi", [args[0], "x0", str(val)])]
+        if not -(1 << 31) <= val < (1 << 31):
+            raise AssemblerError(
+                f"li immediate {val} out of the supported 32-bit range"
+            )
+        # standard lui+addi lowering: lower is the sign-extended low 12
+        # bits, upper absorbs the borrow (lui sign-extends on RV64)
+        lower = ((val & 0xFFF) ^ 0x800) - 0x800
+        upper = ((val - lower) >> 12) & 0xFFFFF
+        return [("lui", [args[0], str(upper)]),
+                ("addi", [args[0], args[0], str(lower)])]
+    if mnem == "j":
+        return [("jal", ["x0", args[0]])]
+    if mnem == "ret":
+        return [("jalr", ["x0", "0(ra)"])]
+    if mnem == "call":
+        return [("jal", ["ra", args[0]])]
+    if mnem == "beqz":
+        return [("beq", [args[0], "x0", args[1]])]
+    if mnem == "bnez":
+        return [("bne", [args[0], "x0", args[1]])]
+    if mnem == "neg":
+        return [("sub", [args[0], "x0", args[1]])]
+    if mnem == "not":
+        return [("xori", [args[0], args[1], "-1"])]
+    if mnem == "fmv.d":
+        return [("fsgnj.d", [args[0], args[1], args[1]])]
+    if mnem == "fneg.d":
+        return [("fsgnjn.d", [args[0], args[1], args[1]])]
+    if mnem == "fabs.d":
+        return [("fsgnjx.d", [args[0], args[1], args[1]])]
+    if mnem == "seqz":
+        return [("sltiu", [args[0], args[1], "1"])]
+    if mnem == "snez":
+        return [("sltu", [args[0], "x0", args[1]])]
+    return [(mnem, args)]
+
+
+def assemble(source: str, base: int = 0x1_0000) -> list[int]:
+    """Assemble *source* into a list of 32-bit instruction words.
+
+    ``base`` is the address of the first instruction (used for label
+    resolution of branches and jumps).
+    """
+    lines = _split_lines(source)
+
+    # Pass 1: record label addresses, expand pseudos to count words.
+    labels: dict[str, int] = {}
+    prog: list[tuple[int, str, list[str]]] = []  # (lineno, mnemonic, args)
+    pc = base
+    for lineno, line in lines:
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = pc
+            line = rest.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnem = parts[0].lower()
+        args = [a.strip() for a in parts[1].split(",")] if len(parts) > 1 else []
+        for m2, a2 in _expand_pseudo(mnem, args):
+            if m2 not in MNEMONICS:
+                raise AssemblerError(f"line {lineno}: unknown mnemonic {m2!r}")
+            prog.append((lineno, m2, a2))
+            pc += 4
+
+    # Pass 2: encode.
+    words: list[int] = []
+    pc = base
+    for lineno, mnem, args in prog:
+        try:
+            ins = _build(mnem, args, labels, pc)
+            words.append(encode(ins))
+        except (AssemblerError, ValueError) as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+        pc += 4
+    return words
+
+
+def _build(mnem: str, args: list[str], labels: dict[str, int], pc: int) -> Instr:
+    from .encoding import _SPEC  # format table
+
+    fmt = _SPEC[mnem][0]
+    if mnem in _FP_LOADS:
+        m = _MEM_RE.match(args[1].replace(" ", ""))
+        if not m:
+            raise AssemblerError(f"bad memory operand {args[1]!r}")
+        return Instr(mnem, rd=_freg(args[0]), rs1=_reg(m.group(2)),
+                     imm=_imm(m.group(1), labels, pc, pcrel=False))
+    if mnem in _FP_STORES:
+        m = _MEM_RE.match(args[1].replace(" ", ""))
+        if not m:
+            raise AssemblerError(f"bad memory operand {args[1]!r}")
+        return Instr(mnem, rs2=_freg(args[0]), rs1=_reg(m.group(2)),
+                     imm=_imm(m.group(1), labels, pc, pcrel=False))
+    if fmt == "R4":
+        return Instr(mnem, rd=_freg(args[0]), rs1=_freg(args[1]),
+                     rs2=_freg(args[2]), rs3=_freg(args[3]))
+    if fmt == "RF":
+        pick_rd = _freg if mnem in FP_RD else _reg
+        pick_rs1 = _freg if mnem in FP_RS1 else _reg
+        if len(args) == 2:  # fsqrt/fcvt/fmv
+            return Instr(mnem, rd=pick_rd(args[0]), rs1=pick_rs1(args[1]))
+        pick_rs2 = _freg if mnem in FP_RS2 else _reg
+        return Instr(mnem, rd=pick_rd(args[0]), rs1=pick_rs1(args[1]),
+                     rs2=pick_rs2(args[2]))
+    if mnem in _LOADS or mnem == "jalr":
+        if len(args) != 2:
+            raise AssemblerError(f"{mnem} expects rd, imm(rs1)")
+        m = _MEM_RE.match(args[1].replace(" ", ""))
+        if not m:
+            raise AssemblerError(f"bad memory operand {args[1]!r}")
+        return Instr(mnem, rd=_reg(args[0]), rs1=_reg(m.group(2)),
+                     imm=_imm(m.group(1), labels, pc, pcrel=False))
+    if mnem in _STORES:
+        m = _MEM_RE.match(args[1].replace(" ", ""))
+        if not m:
+            raise AssemblerError(f"bad memory operand {args[1]!r}")
+        return Instr(mnem, rs2=_reg(args[0]), rs1=_reg(m.group(2)),
+                     imm=_imm(m.group(1), labels, pc, pcrel=False))
+    if mnem in _BRANCHES:
+        return Instr(mnem, rs1=_reg(args[0]), rs2=_reg(args[1]),
+                     imm=_imm(args[2], labels, pc, pcrel=True))
+    if mnem == "jal":
+        if len(args) == 1:  # jal label  (rd = ra)
+            args = ["ra", args[0]]
+        return Instr(mnem, rd=_reg(args[0]), imm=_imm(args[1], labels, pc, pcrel=True))
+    if mnem in ("lui", "auipc"):
+        return Instr(mnem, rd=_reg(args[0]), imm=_imm(args[1], labels, pc, pcrel=False))
+    if mnem in ("ecall", "ebreak", "fence"):
+        return Instr(mnem)
+    if fmt == "R":
+        return Instr(mnem, rd=_reg(args[0]), rs1=_reg(args[1]), rs2=_reg(args[2]))
+    # remaining I-type ALU
+    return Instr(mnem, rd=_reg(args[0]), rs1=_reg(args[1]),
+                 imm=_imm(args[2], labels, pc, pcrel=False))

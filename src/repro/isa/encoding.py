@@ -1,0 +1,514 @@
+"""RV64IMFD instruction encoding and decoding.
+
+This is a real (if subset) RISC-V ISA layer: 32-bit instruction words for
+RV64I plus the M extension and the F/D floating-point extensions, with
+encode/decode round-tripping.  It exists
+so that small kernels can be authored in assembly (see
+:mod:`repro.isa.assembler`), executed functionally
+(:mod:`repro.isa.interp`), and lowered to the micro-op traces the timing
+models consume — demonstrating the full path from machine code to timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .opcodes import OpClass
+
+__all__ = ["Instr", "encode", "decode", "DecodeError", "MNEMONICS"]
+
+
+class DecodeError(ValueError):
+    """Raised when an instruction word does not decode to a known format."""
+
+
+# Major opcodes (bits [6:0])
+_OP = 0b0110011
+_OP_32 = 0b0111011
+_OP_IMM = 0b0010011
+_OP_IMM_32 = 0b0011011
+_LOAD = 0b0000011
+_STORE = 0b0100011
+_BRANCH = 0b1100011
+_JAL = 0b1101111
+_JALR = 0b1100111
+_LUI = 0b0110111
+_AUIPC = 0b0010111
+_SYSTEM = 0b1110011
+_MISC_MEM = 0b0001111
+_LOAD_FP = 0b0000111
+_STORE_FP = 0b0100111
+_OP_FP = 0b1010011
+_FMADD = 0b1000011
+_FMSUB = 0b1000111
+_FNMSUB = 0b1001011
+_FNMADD = 0b1001111
+
+# mnemonic -> (format, opcode, funct3, funct7)
+# FP formats: RF = OP-FP R-type (funct3 = rm or sub-op), R4 = fused
+# multiply-add with rs3, IF/SF = fp load/store
+_R = "R"; _I = "I"; _S = "S"; _B = "B"; _U = "U"; _J = "J"
+_RF = "RF"; _R4 = "R4"; _IF = "IF"; _SF = "SF"
+_SPEC: dict[str, tuple[str, int, int, int]] = {
+    # RV64I R-type
+    "add":  (_R, _OP, 0b000, 0b0000000),
+    "sub":  (_R, _OP, 0b000, 0b0100000),
+    "sll":  (_R, _OP, 0b001, 0b0000000),
+    "slt":  (_R, _OP, 0b010, 0b0000000),
+    "sltu": (_R, _OP, 0b011, 0b0000000),
+    "xor":  (_R, _OP, 0b100, 0b0000000),
+    "srl":  (_R, _OP, 0b101, 0b0000000),
+    "sra":  (_R, _OP, 0b101, 0b0100000),
+    "or":   (_R, _OP, 0b110, 0b0000000),
+    "and":  (_R, _OP, 0b111, 0b0000000),
+    "addw": (_R, _OP_32, 0b000, 0b0000000),
+    "subw": (_R, _OP_32, 0b000, 0b0100000),
+    "sllw": (_R, _OP_32, 0b001, 0b0000000),
+    "srlw": (_R, _OP_32, 0b101, 0b0000000),
+    "sraw": (_R, _OP_32, 0b101, 0b0100000),
+    # M extension
+    "mul":    (_R, _OP, 0b000, 0b0000001),
+    "mulh":   (_R, _OP, 0b001, 0b0000001),
+    "mulhsu": (_R, _OP, 0b010, 0b0000001),
+    "mulhu":  (_R, _OP, 0b011, 0b0000001),
+    "div":    (_R, _OP, 0b100, 0b0000001),
+    "divu":   (_R, _OP, 0b101, 0b0000001),
+    "rem":    (_R, _OP, 0b110, 0b0000001),
+    "remu":   (_R, _OP, 0b111, 0b0000001),
+    "mulw":   (_R, _OP_32, 0b000, 0b0000001),
+    "divw":   (_R, _OP_32, 0b100, 0b0000001),
+    "divuw":  (_R, _OP_32, 0b101, 0b0000001),
+    "remw":   (_R, _OP_32, 0b110, 0b0000001),
+    "remuw":  (_R, _OP_32, 0b111, 0b0000001),
+    # I-type ALU
+    "addi":  (_I, _OP_IMM, 0b000, 0),
+    "slti":  (_I, _OP_IMM, 0b010, 0),
+    "sltiu": (_I, _OP_IMM, 0b011, 0),
+    "xori":  (_I, _OP_IMM, 0b100, 0),
+    "ori":   (_I, _OP_IMM, 0b110, 0),
+    "andi":  (_I, _OP_IMM, 0b111, 0),
+    "slli":  (_I, _OP_IMM, 0b001, 0b000000),
+    "srli":  (_I, _OP_IMM, 0b101, 0b000000),
+    "srai":  (_I, _OP_IMM, 0b101, 0b010000),
+    "addiw": (_I, _OP_IMM_32, 0b000, 0),
+    "slliw": (_I, _OP_IMM_32, 0b001, 0b0000000),
+    "srliw": (_I, _OP_IMM_32, 0b101, 0b0000000),
+    "sraiw": (_I, _OP_IMM_32, 0b101, 0b0100000),
+    # loads
+    "lb":  (_I, _LOAD, 0b000, 0),
+    "lh":  (_I, _LOAD, 0b001, 0),
+    "lw":  (_I, _LOAD, 0b010, 0),
+    "ld":  (_I, _LOAD, 0b011, 0),
+    "lbu": (_I, _LOAD, 0b100, 0),
+    "lhu": (_I, _LOAD, 0b101, 0),
+    "lwu": (_I, _LOAD, 0b110, 0),
+    # stores
+    "sb": (_S, _STORE, 0b000, 0),
+    "sh": (_S, _STORE, 0b001, 0),
+    "sw": (_S, _STORE, 0b010, 0),
+    "sd": (_S, _STORE, 0b011, 0),
+    # branches
+    "beq":  (_B, _BRANCH, 0b000, 0),
+    "bne":  (_B, _BRANCH, 0b001, 0),
+    "blt":  (_B, _BRANCH, 0b100, 0),
+    "bge":  (_B, _BRANCH, 0b101, 0),
+    "bltu": (_B, _BRANCH, 0b110, 0),
+    "bgeu": (_B, _BRANCH, 0b111, 0),
+    # jumps / upper-immediate
+    "jal":   (_J, _JAL, 0, 0),
+    "jalr":  (_I, _JALR, 0b000, 0),
+    "lui":   (_U, _LUI, 0, 0),
+    "auipc": (_U, _AUIPC, 0, 0),
+    # system
+    "ecall":  (_I, _SYSTEM, 0b000, 0),
+    "ebreak": (_I, _SYSTEM, 0b000, 0),
+    "fence":  (_I, _MISC_MEM, 0b000, 0),
+    # F/D loads and stores
+    "flw": (_IF, _LOAD_FP, 0b010, 0),
+    "fld": (_IF, _LOAD_FP, 0b011, 0),
+    "fsw": (_SF, _STORE_FP, 0b010, 0),
+    "fsd": (_SF, _STORE_FP, 0b011, 0),
+    # D arithmetic (funct3 = rounding mode, fixed RNE here)
+    "fadd.d":  (_RF, _OP_FP, 0b000, 0b0000001),
+    "fsub.d":  (_RF, _OP_FP, 0b000, 0b0000101),
+    "fmul.d":  (_RF, _OP_FP, 0b000, 0b0001001),
+    "fdiv.d":  (_RF, _OP_FP, 0b000, 0b0001101),
+    "fsqrt.d": (_RF, _OP_FP, 0b000, 0b0101101),   # rs2 must be 0
+    "fmin.d":  (_RF, _OP_FP, 0b000, 0b0010101),
+    "fmax.d":  (_RF, _OP_FP, 0b001, 0b0010101),
+    "fsgnj.d": (_RF, _OP_FP, 0b000, 0b0010001),
+    "fsgnjn.d": (_RF, _OP_FP, 0b001, 0b0010001),
+    "fsgnjx.d": (_RF, _OP_FP, 0b010, 0b0010001),
+    # S arithmetic
+    "fadd.s":  (_RF, _OP_FP, 0b000, 0b0000000),
+    "fsub.s":  (_RF, _OP_FP, 0b000, 0b0000100),
+    "fmul.s":  (_RF, _OP_FP, 0b000, 0b0001000),
+    "fdiv.s":  (_RF, _OP_FP, 0b000, 0b0001100),
+    # D comparisons (rd is an integer register)
+    "feq.d": (_RF, _OP_FP, 0b010, 0b1010001),
+    "flt.d": (_RF, _OP_FP, 0b001, 0b1010001),
+    "fle.d": (_RF, _OP_FP, 0b000, 0b1010001),
+    # conversions (the sub-op lives in the rs2 field)
+    "fcvt.w.d":  (_RF, _OP_FP, 0b001, 0b1100001),  # rm=rtz encoded as f3
+    "fcvt.l.d":  (_RF, _OP_FP, 0b001, 0b1100001),  # distinguished by rs2
+    "fcvt.d.w":  (_RF, _OP_FP, 0b000, 0b1101001),
+    "fcvt.d.l":  (_RF, _OP_FP, 0b000, 0b1101001),
+    "fcvt.s.d":  (_RF, _OP_FP, 0b000, 0b0100000),
+    "fcvt.d.s":  (_RF, _OP_FP, 0b000, 0b0100001),
+    # moves between register files (raw bits)
+    "fmv.x.d": (_RF, _OP_FP, 0b000, 0b1110001),
+    "fmv.d.x": (_RF, _OP_FP, 0b000, 0b1111001),
+    # fused multiply-add, double
+    "fmadd.d":  (_R4, _FMADD, 0b000, 0b01),
+    "fmsub.d":  (_R4, _FMSUB, 0b000, 0b01),
+    "fnmsub.d": (_R4, _FNMSUB, 0b000, 0b01),
+    "fnmadd.d": (_R4, _FNMADD, 0b000, 0b01),
+}
+
+#: the rs2 sub-op code for conversion instructions
+_CVT_RS2 = {
+    "fcvt.w.d": 0, "fcvt.l.d": 2,
+    "fcvt.d.w": 0, "fcvt.d.l": 2,
+    "fcvt.s.d": 1, "fcvt.d.s": 0,
+}
+#: sqrt/cvt/mv use rs2 as a sub-op or fix it to zero
+_NO_RS2 = {"fsqrt.d", "fmv.x.d", "fmv.d.x"} | set(_CVT_RS2)
+
+#: operand register files: which of rd/rs1/rs2/rs3 are FP registers
+FP_RD = {m for m in ("flw", "fld", "fadd.d", "fsub.d", "fmul.d", "fdiv.d",
+                     "fsqrt.d", "fmin.d", "fmax.d", "fsgnj.d", "fsgnjn.d",
+                     "fsgnjx.d", "fadd.s", "fsub.s", "fmul.s", "fdiv.s",
+                     "fcvt.d.w", "fcvt.d.l", "fcvt.s.d", "fcvt.d.s",
+                     "fmv.d.x", "fmadd.d", "fmsub.d", "fnmsub.d", "fnmadd.d")}
+FP_RS1 = {m for m in ("fadd.d", "fsub.d", "fmul.d", "fdiv.d", "fsqrt.d",
+                      "fmin.d", "fmax.d", "fsgnj.d", "fsgnjn.d", "fsgnjx.d",
+                      "fadd.s", "fsub.s", "fmul.s", "fdiv.s",
+                      "feq.d", "flt.d", "fle.d", "fcvt.w.d", "fcvt.l.d",
+                      "fcvt.s.d", "fcvt.d.s", "fmv.x.d",
+                      "fmadd.d", "fmsub.d", "fnmsub.d", "fnmadd.d")}
+FP_RS2 = {m for m in ("fadd.d", "fsub.d", "fmul.d", "fdiv.d", "fmin.d",
+                      "fmax.d", "fsgnj.d", "fsgnjn.d", "fsgnjx.d",
+                      "fadd.s", "fsub.s", "fmul.s", "fdiv.s",
+                      "feq.d", "flt.d", "fle.d", "fsw", "fsd",
+                      "fmadd.d", "fmsub.d", "fnmsub.d", "fnmadd.d")}
+
+#: All supported mnemonics.
+MNEMONICS = frozenset(_SPEC)
+
+_LOAD_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "lwu": 4,
+               "ld": 8, "flw": 4, "fld": 8}
+_STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8, "fsw": 4, "fsd": 8}
+_SHIFT_IMM = {"slli", "srli", "srai", "slliw", "srliw", "sraiw"}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """A decoded (or to-be-encoded) instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    rs3: int = 0  #: fused multiply-add third source (R4 format only)
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in _SPEC:
+            raise DecodeError(f"unknown mnemonic {self.mnemonic!r}")
+        for r in (self.rd, self.rs1, self.rs2, self.rs3):
+            if not 0 <= r < 32:
+                raise DecodeError(f"register x{r} out of range in {self.mnemonic}")
+
+    @property
+    def fmt(self) -> str:
+        return _SPEC[self.mnemonic][0]
+
+    @property
+    def mem_size(self) -> int:
+        """Access width in bytes for loads/stores, else 0."""
+        return _LOAD_SIZES.get(self.mnemonic) or _STORE_SIZES.get(self.mnemonic) or 0
+
+    @property
+    def op_class(self) -> OpClass:
+        """Micro-op class this instruction lowers to."""
+        m = self.mnemonic
+        if m in _LOAD_SIZES:
+            return OpClass.LOAD
+        if m in _STORE_SIZES:
+            return OpClass.STORE
+        if m in ("mul", "mulh", "mulhsu", "mulhu", "mulw"):
+            return OpClass.INT_MUL
+        if m in ("div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"):
+            return OpClass.INT_DIV
+        if self.fmt == _B:
+            return OpClass.BRANCH
+        if m == "jal":
+            return OpClass.CALL if self.rd != 0 else OpClass.JUMP
+        if m == "jalr":
+            # RISC-V calling convention: jalr x0, 0(ra) is a return.
+            if self.rd == 0 and self.rs1 in (1, 5):
+                return OpClass.RET
+            return OpClass.CALL if self.rd != 0 else OpClass.JUMP
+        if m in ("ecall", "ebreak"):
+            return OpClass.CSR
+        if m == "fence":
+            return OpClass.FENCE
+        if self.fmt == _R4:
+            return OpClass.FP_FMA
+        if m.startswith(("fadd", "fsub", "fmin", "fmax")) or m.startswith(
+                ("feq", "flt", "fle")):
+            return OpClass.FP_ADD
+        if m.startswith("fmul"):
+            return OpClass.FP_MUL
+        if m.startswith("fdiv"):
+            return OpClass.FP_DIV
+        if m.startswith("fsqrt"):
+            return OpClass.FP_SQRT
+        if m.startswith("fcvt"):
+            return OpClass.FP_CVT
+        if m.startswith(("fsgnj", "fmv")):
+            return OpClass.FP_MOV
+        return OpClass.INT_ALU
+
+    def __str__(self) -> str:
+        m = self.mnemonic
+
+        def reg(idx: int, fp: bool) -> str:
+            return f"{'f' if fp else 'x'}{idx}"
+
+        if self.fmt == _R4:
+            return (f"{m} f{self.rd}, f{self.rs1}, f{self.rs2}, f{self.rs3}")
+        if self.fmt == _RF:
+            rd = reg(self.rd, m in FP_RD)
+            rs1 = reg(self.rs1, m in FP_RS1)
+            if m in _NO_RS2:
+                return f"{m} {rd}, {rs1}"
+            return f"{m} {rd}, {rs1}, {reg(self.rs2, m in FP_RS2)}"
+        if self.fmt == _IF:
+            return f"{m} f{self.rd}, {self.imm}(x{self.rs1})"
+        if self.fmt == _SF:
+            return f"{m} f{self.rs2}, {self.imm}(x{self.rs1})"
+        if self.fmt == _R:
+            return f"{m} x{self.rd}, x{self.rs1}, x{self.rs2}"
+        if m in _LOAD_SIZES or m == "jalr":
+            return f"{m} x{self.rd}, {self.imm}(x{self.rs1})"
+        if m in _STORE_SIZES:
+            return f"{m} x{self.rs2}, {self.imm}(x{self.rs1})"
+        if self.fmt == _B:
+            return f"{m} x{self.rs1}, x{self.rs2}, {self.imm}"
+        if self.fmt == _U or m == "jal":
+            return f"{m} x{self.rd}, {self.imm}"
+        if m in ("ecall", "ebreak", "fence"):
+            return m
+        return f"{m} x{self.rd}, x{self.rs1}, {self.imm}"
+
+
+def _check_range(value: int, bits: int, name: str, signed: bool = True) -> None:
+    lo, hi = (-(1 << (bits - 1)), (1 << (bits - 1)) - 1) if signed else (0, (1 << bits) - 1)
+    if not lo <= value <= hi:
+        raise DecodeError(f"{name} immediate {value} out of {bits}-bit range")
+
+
+def encode(ins: Instr) -> int:
+    """Encode an :class:`Instr` into a 32-bit instruction word."""
+    fmt, opcode, f3, f7 = _SPEC[ins.mnemonic]
+    rd, rs1, rs2, imm = ins.rd, ins.rs1, ins.rs2, ins.imm
+    if fmt == _R:
+        return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+    if fmt == _RF:
+        if ins.mnemonic in _CVT_RS2:
+            rs2 = _CVT_RS2[ins.mnemonic]
+        elif ins.mnemonic in _NO_RS2:
+            rs2 = 0
+        return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+    if fmt == _R4:
+        # f7 holds the 2-bit fmt field for R4 encodings
+        return ((ins.rs3 << 27) | (f7 << 25) | (rs2 << 20) | (rs1 << 15)
+                | (f3 << 12) | (rd << 7) | opcode)
+    if fmt == _IF:
+        _check_range(imm, 12, ins.mnemonic)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+    if fmt == _SF:
+        _check_range(imm, 12, ins.mnemonic)
+        i = imm & 0xFFF
+        return ((i >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((i & 0x1F) << 7) | opcode
+    if fmt == _I:
+        if ins.mnemonic == "ebreak":
+            imm = 1
+        if ins.mnemonic in _SHIFT_IMM:
+            maxsh = 31 if ins.mnemonic.endswith("w") else 63
+            if not 0 <= imm <= maxsh:
+                raise DecodeError(f"shift amount {imm} out of range")
+            top = f7 << (26 if maxsh == 63 else 25)
+            return top | (imm << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+        _check_range(imm, 12, ins.mnemonic)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+    if fmt == _S:
+        _check_range(imm, 12, ins.mnemonic)
+        i = imm & 0xFFF
+        return ((i >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((i & 0x1F) << 7) | opcode
+    if fmt == _B:
+        _check_range(imm, 13, ins.mnemonic)
+        if imm & 1:
+            raise DecodeError("branch offset must be 2-byte aligned")
+        i = imm & 0x1FFF
+        return (
+            ((i >> 12) << 31) | (((i >> 5) & 0x3F) << 25) | (rs2 << 20)
+            | (rs1 << 15) | (f3 << 12) | (((i >> 1) & 0xF) << 8)
+            | (((i >> 11) & 1) << 7) | opcode
+        )
+    if fmt == _U:
+        _check_range(imm, 20, ins.mnemonic, signed=False)
+        return ((imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+    if fmt == _J:
+        _check_range(imm, 21, ins.mnemonic)
+        if imm & 1:
+            raise DecodeError("jump offset must be 2-byte aligned")
+        i = imm & 0x1FFFFF
+        return (
+            ((i >> 20) << 31) | (((i >> 1) & 0x3FF) << 21) | (((i >> 11) & 1) << 20)
+            | (((i >> 12) & 0xFF) << 12) | (rd << 7) | opcode
+        )
+    raise DecodeError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def _sext(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    return value - (1 << bits) if value & (1 << (bits - 1)) else value
+
+
+_BY_KEY: dict[tuple[int, int, int], str] = {}
+for _m, (_f, _opc, _f3, _f7) in _SPEC.items():
+    if _f == _R:
+        _BY_KEY[(_opc, _f3, _f7)] = _m
+_I_BY_KEY: dict[tuple[int, int], str] = {
+    (opc, f3): m
+    for m, (f, opc, f3, _) in _SPEC.items()
+    if f in (_I, _S, _B) and m not in ("srai", "sraiw", "ebreak")
+}
+
+_FP_LS_BY_F3 = {
+    (opc, f3): m for m, (f, opc, f3, _) in _SPEC.items() if f in (_IF, _SF)
+}
+#: OP-FP decode: f7-only for arithmetic (funct3 is a rounding mode there),
+#: (f7, f3) for the sub-op groups, (f7, rs2) for conversions
+_FP_ARITH_BY_F7 = {
+    f7: m for m, (f, opc, f3, f7) in _SPEC.items()
+    if f == _RF and m.split(".")[0] in
+    ("fadd", "fsub", "fmul", "fdiv", "fsqrt")
+}
+_FP_SUBOP_BY_F7_F3 = {
+    (f7, f3): m for m, (f, opc, f3, f7) in _SPEC.items()
+    if f == _RF and m.split(".")[0] in
+    ("fmin", "fmax", "fsgnj", "fsgnjn", "fsgnjx", "feq", "flt", "fle")
+}
+_FP_CVT_BY_F7_RS2 = {
+    (_SPEC[m][3], rs2): m for m, rs2 in _CVT_RS2.items()
+}
+_FP_MV_BY_F7 = {_SPEC["fmv.x.d"][3]: "fmv.x.d", _SPEC["fmv.d.x"][3]: "fmv.d.x"}
+_R4_BY_OPCODE = {
+    opc: m for m, (f, opc, f3, f7) in _SPEC.items() if f == _R4
+}
+
+
+def decode(word: int) -> Instr:
+    """Decode a 32-bit instruction word back into an :class:`Instr`."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    f3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    f7 = (word >> 25) & 0x7F
+    if opcode in (_OP, _OP_32):
+        m = _BY_KEY.get((opcode, f3, f7))
+        if m is None:
+            raise DecodeError(f"unknown R-type word {word:#010x}")
+        return Instr(m, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode in (_OP_IMM, _OP_IMM_32):
+        if f3 == 0b001 or f3 == 0b101:  # shifts
+            word32 = opcode == _OP_IMM_32
+            sh_bits = 5 if word32 else 6
+            shamt = (word >> 20) & ((1 << sh_bits) - 1)
+            arith = bool((word >> (25 if word32 else 26)) & (0b0100000 >> (0 if word32 else 1)) or
+                         ((word >> 30) & 1))
+            if f3 == 0b001:
+                m = "slliw" if word32 else "slli"
+            else:
+                if word32:
+                    m = "sraiw" if arith else "srliw"
+                else:
+                    m = "srai" if arith else "srli"
+            return Instr(m, rd=rd, rs1=rs1, imm=shamt)
+        m = _I_BY_KEY.get((opcode, f3))
+        if m is None:
+            raise DecodeError(f"unknown OP-IMM word {word:#010x}")
+        return Instr(m, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode in (_LOAD, _JALR):
+        m = _I_BY_KEY.get((opcode, f3))
+        if m is None:
+            raise DecodeError(f"unknown load/jalr word {word:#010x}")
+        return Instr(m, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode == _STORE:
+        m = _I_BY_KEY.get((opcode, f3))
+        if m is None:
+            raise DecodeError(f"unknown store word {word:#010x}")
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        return Instr(m, rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == _BRANCH:
+        m = _I_BY_KEY.get((opcode, f3))
+        if m is None:
+            raise DecodeError(f"unknown branch word {word:#010x}")
+        imm = (
+            (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        )
+        return Instr(m, rs1=rs1, rs2=rs2, imm=_sext(imm, 13))
+    if opcode == _LUI:
+        return Instr("lui", rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if opcode == _AUIPC:
+        return Instr("auipc", rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if opcode == _JAL:
+        imm = (
+            (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        )
+        return Instr("jal", rd=rd, imm=_sext(imm, 21))
+    if opcode == _SYSTEM:
+        return Instr("ebreak" if (word >> 20) & 0xFFF == 1 else "ecall")
+    if opcode == _MISC_MEM:
+        return Instr("fence")
+    if opcode in (_LOAD_FP, _STORE_FP):
+        m = _FP_LS_BY_F3.get((opcode, f3))
+        if m is None:
+            raise DecodeError(f"unknown fp load/store word {word:#010x}")
+        if opcode == _LOAD_FP:
+            return Instr(m, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        return Instr(m, rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == _OP_FP:
+        if f7 in _FP_CVT_BY_F7_RS2 or (f7, rs2) in _FP_CVT_BY_F7_RS2:
+            m = _FP_CVT_BY_F7_RS2.get((f7, rs2))
+            if m is None:
+                raise DecodeError(f"unknown fcvt word {word:#010x}")
+            return Instr(m, rd=rd, rs1=rs1)
+        if f7 in _FP_MV_BY_F7:
+            return Instr(_FP_MV_BY_F7[f7], rd=rd, rs1=rs1)
+        if (f7, f3) in _FP_SUBOP_BY_F7_F3:
+            return Instr(_FP_SUBOP_BY_F7_F3[(f7, f3)], rd=rd, rs1=rs1, rs2=rs2)
+        if f7 in _FP_ARITH_BY_F7:
+            m = _FP_ARITH_BY_F7[f7]
+            if m.startswith("fsqrt"):
+                return Instr(m, rd=rd, rs1=rs1)
+            return Instr(m, rd=rd, rs1=rs1, rs2=rs2)
+        raise DecodeError(f"unknown OP-FP word {word:#010x}")
+    if opcode in _R4_BY_OPCODE:
+        fmt2 = (word >> 25) & 0b11
+        if fmt2 != 0b01:
+            raise DecodeError(
+                f"unsupported R4 precision {fmt2:#04b} in {word:#010x}"
+            )
+        return Instr(_R4_BY_OPCODE[opcode], rd=rd, rs1=rs1, rs2=rs2,
+                     rs3=(word >> 27) & 0x1F)
+    raise DecodeError(f"unknown opcode {opcode:#04x} in word {word:#010x}")

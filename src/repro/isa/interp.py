@@ -1,0 +1,457 @@
+"""Functional RV64IMFD interpreter that emits micro-op traces.
+
+:class:`Interpreter` executes assembled programs with full architectural
+semantics (64-bit two's-complement arithmetic, sparse byte-addressed
+memory) while recording every retired instruction into a
+:class:`repro.isa.trace.TraceBuilder`.  This closes the loop from real
+machine code to the timing models: the same trace format the synthetic
+workload generators emit is produced here from genuine RISC-V execution.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .encoding import FP_RD, Instr, decode
+from .opcodes import OpClass
+from .trace import Trace, TraceBuilder
+
+__all__ = ["Interpreter", "ExecutionError", "Memory"]
+
+_MASK64 = (1 << 64) - 1
+
+
+class ExecutionError(RuntimeError):
+    """Raised on traps: misaligned jumps, bad decode, fuel exhaustion."""
+
+
+def _s64(v: int) -> int:
+    v &= _MASK64
+    return v - (1 << 64) if v >> 63 else v
+
+
+def _s32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v >> 31 else v
+
+
+class Memory:
+    """Sparse byte-addressable memory backed by a dict of aligned words."""
+
+    def __init__(self) -> None:
+        self._bytes: dict[int, int] = {}
+
+    def load(self, addr: int, size: int, signed: bool) -> int:
+        val = 0
+        for i in range(size):
+            val |= self._bytes.get(addr + i, 0) << (8 * i)
+        if signed and val >> (8 * size - 1):
+            val -= 1 << (8 * size)
+        return val
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        value &= (1 << (8 * size)) - 1
+        for i in range(size):
+            self._bytes[addr + i] = (value >> (8 * i)) & 0xFF
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+
+@dataclass
+class Interpreter:
+    """Execute an RV64IMFD program and collect its dynamic micro-op trace.
+
+    Parameters
+    ----------
+    program:
+        Instruction words, laid out contiguously starting at ``base``.
+    base:
+        Address of ``program[0]``.
+    trace:
+        Whether to record a micro-op trace (disable for pure functional
+        runs, e.g. differential testing).
+    """
+
+    program: list[int]
+    base: int = 0x1_0000
+    trace: bool = True
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    fregs: list[float] = field(default_factory=lambda: [0.0] * 32)
+    mem: Memory = field(default_factory=Memory)
+
+    def __post_init__(self) -> None:
+        self.pc = self.base
+        self.retired = 0
+        self.halted = False
+        self._decoded: list[Instr] = [decode(w) for w in self.program]
+        self._builder = TraceBuilder(pc0=self.base)
+        self._builder.pc = self.base
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, max_instructions: int = 1_000_000) -> Trace:
+        """Run until ``ecall``/``ebreak`` or falling off the end.
+
+        Raises :class:`ExecutionError` if *max_instructions* is exceeded
+        (runaway-loop protection).
+        """
+        fuel = max_instructions
+        end = self.base + 4 * len(self.program)
+        while not self.halted and self.base <= self.pc < end:
+            if fuel <= 0:
+                raise ExecutionError(
+                    f"exceeded {max_instructions} instructions at pc={self.pc:#x}"
+                )
+            self.step()
+            fuel -= 1
+        return self._builder.build()
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        idx = (self.pc - self.base) >> 2
+        if not 0 <= idx < len(self._decoded):
+            raise ExecutionError(f"pc {self.pc:#x} outside program")
+        ins = self._decoded[idx]
+        self._exec(ins)
+        self.retired += 1
+
+    @property
+    def trace_so_far(self) -> Trace:
+        return self._builder.build()
+
+    def reg(self, name_or_idx: int | str) -> int:
+        """Read a register by index or ABI name, as a signed 64-bit value."""
+        if isinstance(name_or_idx, str):
+            from .assembler import REG_NAMES
+
+            name_or_idx = REG_NAMES[name_or_idx]
+        return _s64(self.regs[name_or_idx])
+
+    def freg(self, name_or_idx: int | str) -> float:
+        """Read a floating-point register by index or ABI name."""
+        if isinstance(name_or_idx, str):
+            from .assembler import FREG_NAMES
+
+            name_or_idx = FREG_NAMES[name_or_idx]
+        return self.fregs[name_or_idx]
+
+    # -- execution --------------------------------------------------------
+
+    def _wr(self, rd: int, value: int) -> None:
+        if rd != 0:
+            self.regs[rd] = value & _MASK64
+
+    def _exec(self, ins: Instr) -> None:
+        m = ins.mnemonic
+        rs1 = self.regs[ins.rs1]
+        rs2 = self.regs[ins.rs2]
+        s1, s2 = _s64(rs1), _s64(rs2)
+        pc, imm = self.pc, ins.imm
+        nxt = pc + 4
+        b = self._builder if self.trace else None
+
+        if m in _ALU_R:
+            self._wr(ins.rd, _ALU_R[m](rs1, rs2, s1, s2))
+            if b is not None:
+                kind = ins.op_class
+                if kind == OpClass.INT_MUL:
+                    b.mul(ins.rd, ins.rs1, ins.rs2)
+                elif kind == OpClass.INT_DIV:
+                    b.div(ins.rd, ins.rs1, ins.rs2)
+                else:
+                    b.alu(ins.rd, ins.rs1, ins.rs2)
+        elif m in _ALU_I:
+            self._wr(ins.rd, _ALU_I[m](rs1, s1, imm))
+            if b is not None:
+                b.alu(ins.rd, ins.rs1)
+        elif m == "lui":
+            self._wr(ins.rd, _s64(_s32(imm << 12)) & _MASK64)
+            if b is not None:
+                b.alu(ins.rd)
+        elif m == "auipc":
+            self._wr(ins.rd, (pc + _s64(_s32(imm << 12))) & _MASK64)
+            if b is not None:
+                b.alu(ins.rd)
+        elif ins.op_class == OpClass.LOAD and m[0] != "f":
+            addr = (rs1 + imm) & _MASK64
+            signed = m in ("lb", "lh", "lw", "ld")
+            self._wr(ins.rd, self.mem.load(addr, ins.mem_size, signed) & _MASK64)
+            if b is not None:
+                b.load(ins.rd, addr, base=ins.rs1, size=ins.mem_size)
+        elif ins.op_class == OpClass.STORE and m[0] != "f":
+            addr = (rs1 + imm) & _MASK64
+            self.mem.store(addr, rs2, ins.mem_size)
+            if b is not None:
+                b.store(ins.rs2, addr, base=ins.rs1, size=ins.mem_size)
+        elif m in _BR:
+            taken = _BR[m](rs1, rs2, s1, s2)
+            target = pc + imm
+            if b is not None:
+                b.branch(taken, ins.rs1, ins.rs2, target=target)
+            if taken:
+                nxt = target
+        elif m == "jal":
+            target = pc + imm
+            self._wr(ins.rd, nxt)
+            if b is not None:
+                if ins.rd == 0:
+                    b.jump(target)
+                else:
+                    b.call(target, link=ins.rd)
+            nxt = target
+        elif m == "jalr":
+            target = (rs1 + imm) & _MASK64 & ~1
+            kind = ins.op_class
+            self._wr(ins.rd, pc + 4)
+            if b is not None:
+                if kind == OpClass.RET:
+                    b.ret(target, src=ins.rs1)
+                elif kind == OpClass.CALL:
+                    b.call(target, link=ins.rd)
+                else:
+                    b.jump(target)
+            nxt = target
+        elif m in ("ecall", "ebreak"):
+            self.halted = True
+            if b is not None:
+                b.op(OpClass.CSR)
+        elif m == "fence":
+            if b is not None:
+                b.op(OpClass.FENCE)
+        elif m[0] == "f":
+            _exec_fp(self, ins, b, rs1)
+        else:  # pragma: no cover - decode() never yields others
+            raise ExecutionError(f"unimplemented mnemonic {m}")
+        self.pc = nxt
+        if b is not None:
+            b.pc = nxt
+
+
+FP_BASE = 32  #: trace register-id offset of the FP register file
+
+
+def _bits_of(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _float_of(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & _MASK64))[0]
+
+
+def _f32_bits_of(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", np.float32(value)))[0]
+
+
+def _float_of_f32(bits: int) -> float:
+    return float(struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0])
+
+
+def _exec_fp(self, ins: Instr, b, rs1_val: int) -> None:
+    """Floating-point execution semantics (called from Interpreter._exec)."""
+    m = ins.mnemonic
+    fregs = self.fregs
+    kind = ins.op_class
+    trace_rd = FP_BASE + ins.rd if m in FP_RD else ins.rd
+
+    if m in ("fld", "flw"):
+        addr = (rs1_val + ins.imm) & _MASK64
+        raw = self.mem.load(addr, ins.mem_size, signed=False)
+        fregs[ins.rd] = (_float_of(raw) if m == "fld"
+                         else _float_of_f32(raw))
+        if b is not None:
+            b.load(FP_BASE + ins.rd, addr, base=ins.rs1, size=ins.mem_size)
+        return
+    if m in ("fsd", "fsw"):
+        addr = (rs1_val + ins.imm) & _MASK64
+        v = fregs[ins.rs2]
+        raw = _bits_of(v) if m == "fsd" else _f32_bits_of(v)
+        self.mem.store(addr, raw, ins.mem_size)
+        if b is not None:
+            b.store(FP_BASE + ins.rs2, addr, base=ins.rs1,
+                    size=ins.mem_size)
+        return
+
+    a = fregs[ins.rs1]
+    c = fregs[ins.rs2]
+    emitted_srcs = (FP_BASE + ins.rs1, FP_BASE + ins.rs2)
+    with np.errstate(all="ignore"):
+        if ins.fmt == "R4":
+            d3 = fregs[ins.rs3]
+            prod = a * c
+            if m == "fmadd.d":
+                out = prod + d3
+            elif m == "fmsub.d":
+                out = prod - d3
+            elif m == "fnmsub.d":
+                out = -prod + d3
+            else:  # fnmadd.d
+                out = -prod - d3
+            fregs[ins.rd] = float(out)
+        elif m in ("fadd.d", "fsub.d", "fmul.d", "fdiv.d"):
+            out = {"fadd.d": np.float64(a) + c,
+                   "fsub.d": np.float64(a) - c,
+                   "fmul.d": np.float64(a) * c,
+                   "fdiv.d": np.float64(a) / c}[m]
+            fregs[ins.rd] = float(out)
+        elif m in ("fadd.s", "fsub.s", "fmul.s", "fdiv.s"):
+            fa, fc = np.float32(a), np.float32(c)
+            out = {"fadd.s": fa + fc, "fsub.s": fa - fc,
+                   "fmul.s": fa * fc, "fdiv.s": fa / fc}[m]
+            fregs[ins.rd] = float(np.float32(out))
+        elif m == "fsqrt.d":
+            fregs[ins.rd] = float(np.sqrt(np.float64(a)))
+        elif m in ("fmin.d", "fmax.d"):
+            # RISC-V: if one input is NaN, return the other
+            if math.isnan(a):
+                fregs[ins.rd] = c
+            elif math.isnan(c):
+                fregs[ins.rd] = a
+            else:
+                fregs[ins.rd] = min(a, c) if m == "fmin.d" else max(a, c)
+        elif m.startswith("fsgnj"):
+            mag = abs(a)
+            if m == "fsgnj.d":
+                sign = math.copysign(1.0, c)
+            elif m == "fsgnjn.d":
+                sign = -math.copysign(1.0, c)
+            else:  # fsgnjx.d
+                sign = math.copysign(1.0, a) * math.copysign(1.0, c)
+            fregs[ins.rd] = math.copysign(mag, sign)
+        elif m in ("feq.d", "flt.d", "fle.d"):
+            if math.isnan(a) or math.isnan(c):
+                res = 0
+            else:
+                res = int({"feq.d": a == c, "flt.d": a < c,
+                           "fle.d": a <= c}[m])
+            self._wr(ins.rd, res)
+        elif m in ("fcvt.w.d", "fcvt.l.d"):
+            bits = 32 if m == "fcvt.w.d" else 64
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+            if math.isnan(a):
+                res = hi
+            else:
+                res = min(max(int(a), lo), hi)  # trunc toward zero
+            self._wr(ins.rd, res & _MASK64)
+        elif m in ("fcvt.d.w", "fcvt.d.l"):
+            src = _s32(rs1_val) if m == "fcvt.d.w" else _s64(rs1_val)
+            fregs[ins.rd] = float(src)
+        elif m == "fcvt.s.d":
+            fregs[ins.rd] = float(np.float32(a))
+        elif m == "fcvt.d.s":
+            fregs[ins.rd] = float(np.float32(a))
+        elif m == "fmv.x.d":
+            self._wr(ins.rd, _bits_of(a))
+        elif m == "fmv.d.x":
+            fregs[ins.rd] = _float_of(rs1_val)
+        else:  # pragma: no cover
+            raise ExecutionError(f"unimplemented fp mnemonic {m}")
+
+    if b is not None:
+        src1 = (FP_BASE + ins.rs1 if ins.mnemonic not in
+                ("fcvt.d.w", "fcvt.d.l", "fmv.d.x") else ins.rs1)
+        b.fp(kind, trace_rd, src1,
+             FP_BASE + ins.rs2 if ins.fmt in ("RF", "R4") else -1)
+
+
+def _div(s1: int, s2: int) -> int:
+    if s2 == 0:
+        return _MASK64  # RISC-V: division by zero yields all-ones
+    if s1 == -(1 << 63) and s2 == -1:
+        return s1 & _MASK64
+    q = abs(s1) // abs(s2)
+    return (-q if (s1 < 0) != (s2 < 0) else q) & _MASK64
+
+
+def _rem(s1: int, s2: int) -> int:
+    if s2 == 0:
+        return s1 & _MASK64
+    if s1 == -(1 << 63) and s2 == -1:
+        return 0
+    r = abs(s1) % abs(s2)
+    return (-r if s1 < 0 else r) & _MASK64
+
+
+_ALU_R = {
+    "add": lambda r1, r2, s1, s2: (r1 + r2) & _MASK64,
+    "sub": lambda r1, r2, s1, s2: (r1 - r2) & _MASK64,
+    "sll": lambda r1, r2, s1, s2: (r1 << (r2 & 63)) & _MASK64,
+    "slt": lambda r1, r2, s1, s2: int(s1 < s2),
+    "sltu": lambda r1, r2, s1, s2: int(r1 < r2),
+    "xor": lambda r1, r2, s1, s2: r1 ^ r2,
+    "srl": lambda r1, r2, s1, s2: r1 >> (r2 & 63),
+    "sra": lambda r1, r2, s1, s2: (s1 >> (r2 & 63)) & _MASK64,
+    "or": lambda r1, r2, s1, s2: r1 | r2,
+    "and": lambda r1, r2, s1, s2: r1 & r2,
+    "addw": lambda r1, r2, s1, s2: _s32(r1 + r2) & _MASK64,
+    "subw": lambda r1, r2, s1, s2: _s32(r1 - r2) & _MASK64,
+    "sllw": lambda r1, r2, s1, s2: _s32(r1 << (r2 & 31)) & _MASK64,
+    "srlw": lambda r1, r2, s1, s2: _s32((r1 & 0xFFFFFFFF) >> (r2 & 31)) & _MASK64,
+    "sraw": lambda r1, r2, s1, s2: _s32(_s32(r1) >> (r2 & 31)) & _MASK64,
+    "mul": lambda r1, r2, s1, s2: (r1 * r2) & _MASK64,
+    "mulh": lambda r1, r2, s1, s2: ((s1 * s2) >> 64) & _MASK64,
+    "mulhsu": lambda r1, r2, s1, s2: ((s1 * r2) >> 64) & _MASK64,
+    "mulhu": lambda r1, r2, s1, s2: ((r1 * r2) >> 64) & _MASK64,
+    "mulw": lambda r1, r2, s1, s2: _s32(r1 * r2) & _MASK64,
+    "div": lambda r1, r2, s1, s2: _div(s1, s2),
+    "divu": lambda r1, r2, s1, s2: (_MASK64 if r2 == 0 else r1 // r2),
+    "rem": lambda r1, r2, s1, s2: _rem(s1, s2),
+    "remu": lambda r1, r2, s1, s2: (r1 if r2 == 0 else r1 % r2),
+    "divw": lambda r1, r2, s1, s2: _s32(
+        0xFFFFFFFF if _s32(r2) == 0 else _wdiv(_s32(r1), _s32(r2))
+    ) & _MASK64,
+    "divuw": lambda r1, r2, s1, s2: _s32(
+        0xFFFFFFFF if r2 & 0xFFFFFFFF == 0 else (r1 & 0xFFFFFFFF) // (r2 & 0xFFFFFFFF)
+    ) & _MASK64,
+    "remw": lambda r1, r2, s1, s2: _s32(
+        _s32(r1) if _s32(r2) == 0 else _wrem(_s32(r1), _s32(r2))
+    ) & _MASK64,
+    "remuw": lambda r1, r2, s1, s2: _s32(
+        (r1 & 0xFFFFFFFF) if r2 & 0xFFFFFFFF == 0
+        else (r1 & 0xFFFFFFFF) % (r2 & 0xFFFFFFFF)
+    ) & _MASK64,
+}
+
+
+def _wdiv(a: int, b: int) -> int:
+    if a == -(1 << 31) and b == -1:
+        return a
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _wrem(a: int, b: int) -> int:
+    if a == -(1 << 31) and b == -1:
+        return 0
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+_ALU_I = {
+    "addi": lambda r1, s1, imm: (r1 + imm) & _MASK64,
+    "slti": lambda r1, s1, imm: int(s1 < imm),
+    "sltiu": lambda r1, s1, imm: int(r1 < (imm & _MASK64)),
+    "xori": lambda r1, s1, imm: (r1 ^ (imm & _MASK64)) & _MASK64,
+    "ori": lambda r1, s1, imm: (r1 | (imm & _MASK64)) & _MASK64,
+    "andi": lambda r1, s1, imm: r1 & (imm & _MASK64),
+    "slli": lambda r1, s1, imm: (r1 << imm) & _MASK64,
+    "srli": lambda r1, s1, imm: r1 >> imm,
+    "srai": lambda r1, s1, imm: (s1 >> imm) & _MASK64,
+    "addiw": lambda r1, s1, imm: _s32(r1 + imm) & _MASK64,
+    "slliw": lambda r1, s1, imm: _s32(r1 << imm) & _MASK64,
+    "srliw": lambda r1, s1, imm: _s32((r1 & 0xFFFFFFFF) >> imm) & _MASK64,
+    "sraiw": lambda r1, s1, imm: _s32(_s32(r1) >> imm) & _MASK64,
+}
+
+_BR = {
+    "beq": lambda r1, r2, s1, s2: r1 == r2,
+    "bne": lambda r1, r2, s1, s2: r1 != r2,
+    "blt": lambda r1, r2, s1, s2: s1 < s2,
+    "bge": lambda r1, r2, s1, s2: s1 >= s2,
+    "bltu": lambda r1, r2, s1, s2: r1 < r2,
+    "bgeu": lambda r1, r2, s1, s2: r1 >= r2,
+}

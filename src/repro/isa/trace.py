@@ -1,0 +1,405 @@
+"""Numpy-backed micro-op trace containers.
+
+A :class:`Trace` is a struct-of-arrays record of a dynamic instruction
+stream: op class, register operands, memory address, and branch outcome per
+micro-op.  Workload kernels build traces with :class:`TraceBuilder` (scalar
+emission) or with the vectorised ``extend_*`` methods, and the core timing
+models in :mod:`repro.core` consume them.
+
+Register ids: integer registers ``x0..x31`` are ids ``0..31`` (writes to
+``x0`` are discarded, as in hardware), floating-point registers ``f0..f31``
+are ids ``32..63``, and ``-1`` means "no operand".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .opcodes import FP_OPS, INT_EXEC_OPS, OpClass
+
+__all__ = ["Trace", "TraceBuilder", "TraceStats", "NUM_REGS", "FP_REG_BASE"]
+
+NUM_REGS = 64
+FP_REG_BASE = 32
+
+
+def _vbytes(nbytes: int) -> int:
+    """Validate a vector op's byte width (the trace stores it in uint8)."""
+    if not 0 < nbytes <= 255:
+        raise ValueError(f"vector op width {nbytes} bytes not in (0, 255]")
+    return nbytes
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate instruction-mix statistics of a trace."""
+
+    total: int
+    loads: int
+    stores: int
+    branches: int
+    taken_branches: int
+    int_ops: int
+    fp_ops: int
+    other: int
+
+    @property
+    def mem_ops(self) -> int:
+        return self.loads + self.stores
+
+    def mix(self) -> dict[str, float]:
+        """Fractional instruction mix (sums to 1.0 for non-empty traces)."""
+        if self.total == 0:
+            return {}
+        return {
+            "load": self.loads / self.total,
+            "store": self.stores / self.total,
+            "branch": self.branches / self.total,
+            "int": self.int_ops / self.total,
+            "fp": self.fp_ops / self.total,
+            "other": self.other / self.total,
+        }
+
+
+class Trace:
+    """Immutable struct-of-arrays micro-op stream.
+
+    Parameters are parallel numpy arrays of equal length; see module
+    docstring for register-id conventions.  ``addr`` is a byte address for
+    LOAD/STORE/AMO ops and ignored elsewhere; ``taken`` is meaningful only
+    for BRANCH ops; ``target`` is the (taken-)target PC for control ops.
+    """
+
+    __slots__ = ("op", "dst", "src1", "src2", "addr", "size", "taken", "pc", "target")
+
+    def __init__(
+        self,
+        op: np.ndarray,
+        dst: np.ndarray,
+        src1: np.ndarray,
+        src2: np.ndarray,
+        addr: np.ndarray,
+        size: np.ndarray,
+        taken: np.ndarray,
+        pc: np.ndarray,
+        target: np.ndarray,
+    ) -> None:
+        n = len(op)
+        for name, arr in (
+            ("dst", dst),
+            ("src1", src1),
+            ("src2", src2),
+            ("addr", addr),
+            ("size", size),
+            ("taken", taken),
+            ("pc", pc),
+            ("target", target),
+        ):
+            if len(arr) != n:
+                raise ValueError(f"field {name!r} has length {len(arr)}, expected {n}")
+        self.op = np.ascontiguousarray(op, dtype=np.uint8)
+        self.dst = np.ascontiguousarray(dst, dtype=np.int16)
+        self.src1 = np.ascontiguousarray(src1, dtype=np.int16)
+        self.src2 = np.ascontiguousarray(src2, dtype=np.int16)
+        self.addr = np.ascontiguousarray(addr, dtype=np.uint64)
+        self.size = np.ascontiguousarray(size, dtype=np.uint8)
+        self.taken = np.ascontiguousarray(taken, dtype=np.bool_)
+        self.pc = np.ascontiguousarray(pc, dtype=np.uint64)
+        self.target = np.ascontiguousarray(target, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def __getitem__(self, sl: slice) -> "Trace":
+        if not isinstance(sl, slice):
+            raise TypeError("Trace only supports slice indexing")
+        return Trace(
+            self.op[sl], self.dst[sl], self.src1[sl], self.src2[sl],
+            self.addr[sl], self.size[sl], self.taken[sl], self.pc[sl],
+            self.target[sl],
+        )
+
+    def __repr__(self) -> str:
+        return f"Trace(n={len(self)})"
+
+    @staticmethod
+    def empty() -> "Trace":
+        z = np.zeros(0, dtype=np.uint64)
+        return Trace(
+            z.astype(np.uint8), z.astype(np.int16), z.astype(np.int16),
+            z.astype(np.int16), z, z.astype(np.uint8), z.astype(np.bool_),
+            z, z,
+        )
+
+    @staticmethod
+    def concat(traces: Sequence["Trace"]) -> "Trace":
+        """Concatenate traces in program order."""
+        if not traces:
+            return Trace.empty()
+        return Trace(
+            np.concatenate([t.op for t in traces]),
+            np.concatenate([t.dst for t in traces]),
+            np.concatenate([t.src1 for t in traces]),
+            np.concatenate([t.src2 for t in traces]),
+            np.concatenate([t.addr for t in traces]),
+            np.concatenate([t.size for t in traces]),
+            np.concatenate([t.taken for t in traces]),
+            np.concatenate([t.pc for t in traces]),
+            np.concatenate([t.target for t in traces]),
+        )
+
+    def repeat(self, n: int) -> "Trace":
+        """Repeat the trace *n* times back-to-back (same addresses/PCs)."""
+        if n < 0:
+            raise ValueError("repeat count must be non-negative")
+        return Trace(
+            np.tile(self.op, n), np.tile(self.dst, n), np.tile(self.src1, n),
+            np.tile(self.src2, n), np.tile(self.addr, n), np.tile(self.size, n),
+            np.tile(self.taken, n), np.tile(self.pc, n), np.tile(self.target, n),
+        )
+
+    def stats(self) -> TraceStats:
+        """Compute instruction-mix statistics."""
+        op = self.op
+        loads = int(np.count_nonzero(op == OpClass.LOAD))
+        stores = int(np.count_nonzero(op == OpClass.STORE))
+        is_branch = op == OpClass.BRANCH
+        branches = int(np.count_nonzero(is_branch))
+        taken = int(np.count_nonzero(self.taken & is_branch))
+        int_mask = np.isin(op, [int(o) for o in INT_EXEC_OPS])
+        fp_mask = np.isin(op, [int(o) for o in FP_OPS])
+        int_ops = int(np.count_nonzero(int_mask))
+        fp_ops = int(np.count_nonzero(fp_mask))
+        other = len(op) - loads - stores - branches - int_ops - fp_ops
+        return TraceStats(
+            total=len(op),
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            taken_branches=taken,
+            int_ops=int_ops,
+            fp_ops=fp_ops,
+            other=other,
+        )
+
+
+class TraceBuilder:
+    """Incrementally assemble a :class:`Trace`.
+
+    Scalar emit methods (``alu``, ``load``, ``store``, ``branch``, …)
+    auto-advance a synthetic PC by 4 bytes per op unless an explicit branch
+    redirect is emitted.  Vectorised bulk emission is available through
+    :meth:`extend`.
+    """
+
+    def __init__(self, pc0: int = 0x1_0000) -> None:
+        self._op: list[int] = []
+        self._dst: list[int] = []
+        self._src1: list[int] = []
+        self._src2: list[int] = []
+        self._addr: list[int] = []
+        self._size: list[int] = []
+        self._taken: list[bool] = []
+        self._pc: list[int] = []
+        self._target: list[int] = []
+        self._chunks: list[Trace] = []
+        self.pc = int(pc0)
+
+    def __len__(self) -> int:
+        return len(self._op) + sum(len(c) for c in self._chunks)
+
+    # -- scalar emission -------------------------------------------------
+
+    def _emit(
+        self,
+        op: OpClass,
+        dst: int = -1,
+        src1: int = -1,
+        src2: int = -1,
+        addr: int = 0,
+        size: int = 8,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self._op.append(int(op))
+        self._dst.append(dst)
+        self._src1.append(src1)
+        self._src2.append(src2)
+        self._addr.append(addr)
+        self._size.append(size)
+        self._taken.append(taken)
+        self._pc.append(self.pc)
+        self._target.append(target)
+        self.pc += 4
+
+    def op(self, opclass: OpClass, dst: int = -1, src1: int = -1, src2: int = -1) -> None:
+        """Emit a generic non-memory, non-control op."""
+        self._emit(opclass, dst, src1, src2)
+
+    def alu(self, dst: int, src1: int = -1, src2: int = -1) -> None:
+        self._emit(OpClass.INT_ALU, dst, src1, src2)
+
+    def mul(self, dst: int, src1: int, src2: int) -> None:
+        self._emit(OpClass.INT_MUL, dst, src1, src2)
+
+    def div(self, dst: int, src1: int, src2: int) -> None:
+        self._emit(OpClass.INT_DIV, dst, src1, src2)
+
+    def fp(self, opclass: OpClass, dst: int, src1: int = -1, src2: int = -1) -> None:
+        if opclass not in FP_OPS:
+            raise ValueError(f"{opclass} is not a floating-point op class")
+        self._emit(opclass, dst, src1, src2)
+
+    def load(self, dst: int, addr: int, base: int = -1, size: int = 8) -> None:
+        self._emit(OpClass.LOAD, dst, base, -1, addr=int(addr), size=size)
+
+    def store(self, src: int, addr: int, base: int = -1, size: int = 8) -> None:
+        self._emit(OpClass.STORE, -1, base, src, addr=int(addr), size=size)
+
+    def amo(self, dst: int, src: int, addr: int, size: int = 8) -> None:
+        self._emit(OpClass.AMO, dst, src, -1, addr=int(addr), size=size)
+
+    def branch(
+        self, taken: bool, src1: int = -1, src2: int = -1, target: int | None = None
+    ) -> None:
+        """Emit a conditional branch; taken branches redirect the PC."""
+        tgt = self.pc + 4 if target is None else int(target)
+        self._emit(OpClass.BRANCH, -1, src1, src2, taken=taken, target=tgt)
+        if taken:
+            self.pc = tgt
+
+    def jump(self, target: int | None = None) -> None:
+        tgt = self.pc + 4 if target is None else int(target)
+        self._emit(OpClass.JUMP, -1, taken=True, target=tgt)
+        self.pc = tgt
+
+    def call(self, target: int, link: int = 1) -> None:
+        """Emit a call (jal ra, target)."""
+        self._emit(OpClass.CALL, link, taken=True, target=int(target))
+        self.pc = int(target)
+
+    def ret(self, target: int, src: int = 1) -> None:
+        """Emit a return (jalr x0, ra); *target* is the return address."""
+        self._emit(OpClass.RET, -1, src, taken=True, target=int(target))
+        self.pc = int(target)
+
+    def nop(self) -> None:
+        self._emit(OpClass.NOP)
+
+    # -- RVV vector emission (see repro.core.vector) -----------------------
+
+    def vsetvl(self, dst: int = 10) -> None:
+        """Emit a vsetvli-style vector configuration op."""
+        self._emit(OpClass.VSETVL, dst)
+
+    def vload(self, dst: int, addr: int, nbytes: int, base: int = -1) -> None:
+        """Vector load of *nbytes* starting at *addr* (<= 255 bytes/op)."""
+        self._emit(OpClass.VLOAD, dst, base, -1, addr=int(addr), size=_vbytes(nbytes))
+
+    def vstore(self, src: int, addr: int, nbytes: int, base: int = -1) -> None:
+        self._emit(OpClass.VSTORE, -1, base, src, addr=int(addr), size=_vbytes(nbytes))
+
+    def valu(self, dst: int, src1: int = -1, src2: int = -1,
+             nbytes: int = 32) -> None:
+        self._emit(OpClass.VALU, dst, src1, src2, size=_vbytes(nbytes))
+
+    def vfma(self, dst: int, src1: int = -1, src2: int = -1,
+             nbytes: int = 32) -> None:
+        self._emit(OpClass.VFMA, dst, src1, src2, size=_vbytes(nbytes))
+
+    # -- vectorised emission ----------------------------------------------
+
+    def _flush_scalars(self) -> None:
+        if self._op:
+            self._chunks.append(
+                Trace(
+                    np.array(self._op, dtype=np.uint8),
+                    np.array(self._dst, dtype=np.int16),
+                    np.array(self._src1, dtype=np.int16),
+                    np.array(self._src2, dtype=np.int16),
+                    np.array(self._addr, dtype=np.uint64),
+                    np.array(self._size, dtype=np.uint8),
+                    np.array(self._taken, dtype=np.bool_),
+                    np.array(self._pc, dtype=np.uint64),
+                    np.array(self._target, dtype=np.uint64),
+                )
+            )
+            self._op.clear(); self._dst.clear(); self._src1.clear()
+            self._src2.clear(); self._addr.clear(); self._size.clear()
+            self._taken.clear(); self._pc.clear(); self._target.clear()
+
+    def extend(
+        self,
+        op: np.ndarray,
+        dst: np.ndarray | None = None,
+        src1: np.ndarray | None = None,
+        src2: np.ndarray | None = None,
+        addr: np.ndarray | None = None,
+        size: np.ndarray | int = 8,
+        taken: np.ndarray | None = None,
+        pc: np.ndarray | None = None,
+        target: np.ndarray | None = None,
+    ) -> None:
+        """Append a block of ops given as parallel arrays.
+
+        Missing fields default to "no operand" / zero.  If *pc* is omitted a
+        sequential PC stream is synthesised from the current builder PC
+        (this is adequate for straight-line bulk blocks).
+        """
+        self._flush_scalars()
+        n = len(op)
+        none16 = lambda a: (np.full(n, -1, np.int16) if a is None else a)
+        if pc is None:
+            pc = self.pc + 4 * np.arange(n, dtype=np.uint64)
+            self.pc += 4 * n
+        else:
+            self.pc = int(pc[-1]) + 4 if n else self.pc
+        if isinstance(size, int):
+            size = np.full(n, size, np.uint8)
+        self._chunks.append(
+            Trace(
+                op,
+                none16(dst),
+                none16(src1),
+                none16(src2),
+                np.zeros(n, np.uint64) if addr is None else addr,
+                size,
+                np.zeros(n, np.bool_) if taken is None else taken,
+                pc,
+                np.zeros(n, np.uint64) if target is None else target,
+            )
+        )
+
+    def extend_trace(self, trace: Trace) -> None:
+        """Append an already-built trace verbatim."""
+        self._flush_scalars()
+        self._chunks.append(trace)
+
+    def build(self) -> Trace:
+        """Finalise and return the accumulated trace."""
+        self._flush_scalars()
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        return Trace.concat(self._chunks)
+
+
+def interleave(traces: Iterable[Trace], chunk: int = 64) -> Trace:
+    """Round-robin interleave several traces in *chunk*-op slices.
+
+    Used by tests to build synthetic multi-stream workloads.
+    """
+    traces = [t for t in traces if len(t)]
+    parts: list[Trace] = []
+    offsets = [0] * len(traces)
+    remaining = sum(len(t) for t in traces)
+    while remaining:
+        for i, t in enumerate(traces):
+            if offsets[i] < len(t):
+                end = min(offsets[i] + chunk, len(t))
+                parts.append(t[offsets[i]:end])
+                remaining -= end - offsets[i]
+                offsets[i] = end
+    return Trace.concat(parts)

@@ -1,0 +1,75 @@
+"""System-bus model: width-limited, arbitrated transfer between cache levels.
+
+The paper's Rocket2 / Banana Pi Sim Model configurations widen the system
+bus from 64 to 128 bits (Table 4); the bus model makes that knob visible as
+transfer beats per cache line plus contention between tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timeline import OccupancyTimeline
+
+__all__ = ["BusConfig", "SystemBus", "BusStats"]
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    width_bits: int = 64
+    #: bus clock as a fraction of the core clock (1.0 = same domain)
+    clock_ratio: float = 1.0
+    #: fixed arbitration/propagation latency in core cycles
+    arbitration_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0 or self.width_bits % 8:
+            raise ValueError("width_bits must be a positive multiple of 8")
+        if self.clock_ratio <= 0:
+            raise ValueError("clock_ratio must be positive")
+
+    def beats(self, bytes_: int) -> int:
+        """Number of bus beats to move *bytes_*."""
+        per_beat = self.width_bits // 8
+        return -(-bytes_ // per_beat)
+
+
+@dataclass
+class BusStats:
+    transfers: int = 0
+    contention_cycles: int = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class SystemBus:
+    """Single shared bus with per-transfer occupancy.
+
+    ``transfer(time, bytes_)`` returns the completion time; back-to-back
+    requests from multiple tiles queue behind each other, which is how
+    multi-core memory contention appears below the private caches.
+    """
+
+    def __init__(self, cfg: BusConfig, name: str = "sbus") -> None:
+        self.cfg = cfg
+        self.name = name
+        self.stats = BusStats()
+        # interval timeline: requesters' clocks may be mutually skewed
+        self._timeline = OccupancyTimeline()
+
+    def transfer(self, time: int, bytes_: int) -> int:
+        self.stats.transfers += 1
+        beats = self.cfg.beats(bytes_)
+        occupancy = beats / self.cfg.clock_ratio
+        start = self._timeline.reserve(float(time), occupancy)
+        if start > time:
+            self.stats.contention_cycles += int(start - time)
+        return int(start + self.cfg.arbitration_latency + occupancy)
+
+    def reset(self) -> None:
+        self._timeline.clear()
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return f"SystemBus({self.cfg.width_bits}-bit)"

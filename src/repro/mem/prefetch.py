@@ -1,0 +1,85 @@
+"""Hardware prefetcher models.
+
+The commercial cores the paper measures (SpacemiT K1, T-Head C920 in the
+SG2042) ship L1/L2 hardware stride prefetchers; the Rocket and BOOM tiles
+FireSim instantiates have none.  That asymmetry is one of the mechanistic
+reasons the silicon outruns the simulation on streaming, bandwidth-bound
+kernels (DP*, MM_st, NPB IS/MG) while pointer-chasing kernels (MD, MM) see
+no benefit — so the silicon models attach a :class:`StridePrefetcher` and
+the FireSim models do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PrefetcherConfig", "StridePrefetcher", "PrefetchStats"]
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """Reference-prediction-table stride prefetcher parameters."""
+
+    table_entries: int = 16
+    degree: int = 2        #: lines fetched ahead per trigger
+    min_confidence: int = 2
+
+    def __post_init__(self) -> None:
+        if self.table_entries <= 0 or self.degree <= 0:
+            raise ValueError("table_entries and degree must be positive")
+
+
+@dataclass
+class PrefetchStats:
+    triggers: int = 0
+    issued: int = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class StridePrefetcher:
+    """Classic reference-prediction-table stride prefetcher.
+
+    Streams are tracked per 4 KiB region.  On a confident stride match the
+    prefetcher installs the next ``degree`` lines into *cache* via its
+    ``warm``-with-timing path: the fill occupies the next level (so
+    prefetch traffic consumes real bandwidth) but the requesting core does
+    not wait.
+    """
+
+    def __init__(self, cfg: PrefetcherConfig, cache) -> None:
+        self.cfg = cfg
+        self.cache = cache
+        self.stats = PrefetchStats()
+        # region -> (last_line, stride, confidence); insertion-ordered LRU
+        self._table: dict[int, tuple[int, int, int]] = {}
+        self._line = cache.cfg.line_bytes
+
+    def observe(self, addr: int, time: int) -> None:
+        """Feed a demand access; may issue prefetches into the cache."""
+        line = addr // self._line
+        region = addr >> 12
+        entry = self._table.pop(region, None)
+        if entry is None:
+            self._table[region] = (line, 0, 0)
+        else:
+            last, stride, conf = entry
+            new_stride = line - last
+            if new_stride == 0:
+                self._table[region] = (line, stride, conf)
+            elif new_stride == stride:
+                conf = min(conf + 1, 4)
+                self._table[region] = (line, stride, conf)
+                if conf >= self.cfg.min_confidence:
+                    self.stats.triggers += 1
+                    for k in range(1, self.cfg.degree + 1):
+                        target = (line + stride * k) * self._line
+                        if not self.cache.contains(target):
+                            self.stats.issued += 1
+                            self.cache.access(target, time, False)
+            else:
+                self._table[region] = (line, new_stride, 1)
+        if len(self._table) > self.cfg.table_entries:
+            # evict the oldest stream (dict preserves insertion order)
+            self._table.pop(next(iter(self._table)))

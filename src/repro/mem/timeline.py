@@ -1,0 +1,69 @@
+"""Occupancy timelines: busy-interval tracking for shared resources.
+
+Shared components (system bus, L2 banks, DRAM data buses) receive requests
+from tiles whose local clocks are *skewed* — the MPI scheduler lets one
+rank run a compute chunk ahead of another, so reservation requests do not
+arrive in time order.  A single "next-free" high-water mark would charge a
+lagging rank phantom contention against reservations made far in its
+future; the timeline instead keeps the actual busy intervals and books
+each request into the earliest real gap at or after its own time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["OccupancyTimeline"]
+
+
+class OccupancyTimeline:
+    """Busy intervals of one serially-occupied resource.
+
+    ``reserve(time, duration)`` books the earliest gap of *duration* that
+    starts at or after *time* and returns the start.  The interval list is
+    pruned from the front once it exceeds ``max_intervals`` (ancient
+    history; by then every tile's clock has moved past it).
+    """
+
+    __slots__ = ("_starts", "_ends", "max_intervals")
+
+    def __init__(self, max_intervals: int = 512) -> None:
+        if max_intervals < 8:
+            raise ValueError("max_intervals must be >= 8")
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self.max_intervals = max_intervals
+
+    def reserve(self, time: float, duration: float) -> float:
+        """Book *duration* units at the earliest feasible start >= *time*."""
+        if duration <= 0:
+            return float(time)
+        starts, ends = self._starts, self._ends
+        t = float(time)
+        i = bisect_left(starts, t)
+        # the interval before the insertion point may still cover t
+        if i > 0 and ends[i - 1] > t:
+            t = ends[i - 1]
+        # walk forward until a gap of `duration` opens
+        while i < len(starts) and starts[i] < t + duration:
+            if ends[i] > t:
+                t = ends[i]
+            i += 1
+        starts.insert(i, t)
+        ends.insert(i, t + duration)
+        if len(starts) > self.max_intervals:
+            drop = len(starts) - self.max_intervals
+            del starts[:drop]
+            del ends[:drop]
+        return t
+
+    def busy_until(self) -> float:
+        """End of the latest reservation (0.0 when empty)."""
+        return self._ends[-1] if self._ends else 0.0
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+    def __len__(self) -> int:
+        return len(self._starts)

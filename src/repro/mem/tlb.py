@@ -1,0 +1,129 @@
+"""TLB timing models.
+
+Rocket and BOOM tiles have fully-associative 32-entry L1 I/D TLBs; BOOM
+adds a 1024-entry direct-mapped L2 TLB (paper Table 5).  A TLB miss costs a
+page-table walk, which we charge as a fixed walk latency plus a configurable
+number of memory accesses through the data cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["TLBConfig", "TLB", "TwoLevelTLB", "TLBStats"]
+
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    entries: int = 32
+    assoc: int | None = None  #: None = fully associative
+    page_bytes: int = PAGE_BYTES
+    hit_latency: int = 0      #: folded into the cache access on a hit
+    walk_latency: int = 20    #: fixed walk cost (cycles) on a miss
+    walk_accesses: int = 2    #: page-table loads charged to the hierarchy
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("entries must be positive")
+        if self.assoc is not None and not 0 < self.assoc <= self.entries:
+            raise ValueError("assoc must be in (0, entries]")
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class TLB:
+    """Single-level TLB; fully associative LRU or set-associative."""
+
+    def __init__(self, cfg: TLBConfig, name: str = "tlb") -> None:
+        self.cfg = cfg
+        self.name = name
+        self.stats = TLBStats()
+        self._page_shift = cfg.page_bytes.bit_length() - 1
+        assoc = cfg.assoc or cfg.entries
+        self._num_sets = cfg.entries // assoc
+        self._assoc = assoc
+        # per-set LRU-ordered dicts of vpn -> True
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+
+    def lookup(self, addr: int) -> bool:
+        """Probe and update state; return True on hit."""
+        self.stats.accesses += 1
+        vpn = addr >> self._page_shift
+        s = self._sets[vpn % self._num_sets]
+        if vpn in s:
+            s.move_to_end(vpn)
+            return True
+        self.stats.misses += 1
+        if len(s) >= self._assoc:
+            s.popitem(last=False)
+        s[vpn] = True
+        return False
+
+    def translate(self, addr: int, time: int, walker=None) -> int:
+        """Translate at *time*; return the time the translation is ready.
+
+        *walker*, if given, is a callable ``(addr, time) -> finish_time``
+        used for page-table loads (normally the L2 cache port).
+        """
+        if self.lookup(addr):
+            return time + self.cfg.hit_latency
+        t = time + self.cfg.walk_latency
+        if walker is not None:
+            # radix walk: dependent loads at page-table levels
+            vpn = addr >> self._page_shift
+            for level in range(self.cfg.walk_accesses):
+                t = walker(0x8000_0000 + (vpn % 4096) * 8 + level * PAGE_BYTES, t)
+        return t
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    def __repr__(self) -> str:
+        kind = "FA" if self.cfg.assoc in (None, self.cfg.entries) else f"{self._assoc}-way"
+        return f"TLB({self.name}: {self.cfg.entries} entries, {kind})"
+
+
+class TwoLevelTLB:
+    """BOOM-style L1 (fully assoc) + L2 (direct-mapped) TLB pair."""
+
+    def __init__(self, l1: TLBConfig, l2: TLBConfig, name: str = "dtlb") -> None:
+        self.l1 = TLB(l1, name=f"{name}.l1")
+        self.l2 = TLB(l2, name=f"{name}.l2")
+        self.l2_hit_latency = 4
+
+    def translate(self, addr: int, time: int, walker=None) -> int:
+        if self.l1.lookup(addr):
+            return time + self.l1.cfg.hit_latency
+        if self.l2.lookup(addr):
+            return time + self.l2_hit_latency
+        t = time + self.l1.cfg.walk_latency
+        if walker is not None:
+            vpn = addr >> (self.l1.cfg.page_bytes.bit_length() - 1)
+            for level in range(self.l1.cfg.walk_accesses):
+                t = walker(0x8000_0000 + (vpn % 4096) * 8 + level * PAGE_BYTES, t)
+        return t
+
+    @property
+    def stats(self) -> TLBStats:
+        return self.l1.stats
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()

@@ -1,0 +1,5 @@
+"""Reference "hardware" models standing in for the physical boards."""
+
+from .board import Board, Measurement, banana_pi, milkv_pioneer
+
+__all__ = ["Board", "Measurement", "banana_pi", "milkv_pioneer"]

@@ -1,0 +1,76 @@
+"""Multi-node simulation: the paper's §7 future work.
+
+FireSim's headline capability is scale-out simulation — multiple simulated
+nodes linked through a simulated network ("In future studies, simulations
+up to eight nodes can be performed in the available BxE environment").
+:class:`MultiNodeRuntime` provides that here: each node is its own
+:class:`repro.soc.System` (private uncore, caches, DRAM), ranks are placed
+node-major, intra-node pairs use the shared-memory model, and cross-node
+pairs pay the simulated Ethernet's latency/bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..soc.config import SoCConfig
+from ..soc.system import System
+from .comm import Comm
+from .network import NetworkModel, ethernet_network, shared_memory_network
+from .runtime import RankResult, SMPIRuntime
+
+__all__ = ["MultiNodeRuntime", "run_multinode"]
+
+
+class MultiNodeRuntime(SMPIRuntime):
+    """MPI over several simulated nodes.
+
+    Ranks are placed node-major: rank r runs on tile ``r % tiles_per_node``
+    of node ``r // tiles_per_node``.
+    """
+
+    def __init__(self, systems: list[System], ranks_per_node: int | None = None,
+                 intra: NetworkModel | None = None,
+                 inter: NetworkModel | None = None, chunk: int = 4096) -> None:
+        if not systems:
+            raise ValueError("need at least one node")
+        ghz = {s.cfg.core_ghz for s in systems}
+        if len(ghz) != 1:
+            raise ValueError("all nodes must share a core clock (one time base)")
+        self.systems = systems
+        self.ranks_per_node = ranks_per_node or systems[0].cfg.ncores
+        if self.ranks_per_node > len(systems[0].tiles):
+            raise ValueError(
+                f"{self.ranks_per_node} ranks per node exceed "
+                f"{len(systems[0].tiles)} tiles"
+            )
+        nranks = self.ranks_per_node * len(systems)
+        core_ghz = systems[0].cfg.core_ghz
+        super().__init__(systems[0], nranks=min(nranks, len(systems[0].tiles)),
+                         network=intra or shared_memory_network(core_ghz),
+                         chunk=chunk)
+        # superclass validated against node 0; restore the true rank count
+        self.nranks = nranks
+        self.inter = inter or ethernet_network(core_ghz)
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.ranks_per_node
+
+    def _tile_for(self, rank: int):
+        node = self.node_of(rank)
+        return self.systems[node].tiles[rank % self.ranks_per_node]
+
+    def _net_for(self, src: int, dst: int) -> NetworkModel:
+        if self.node_of(src) == self.node_of(dst):
+            return self.network
+        return self.inter
+
+
+def run_multinode(config: SoCConfig, nnodes: int,
+                  program: Callable[[Comm], object],
+                  ranks_per_node: int | None = None,
+                  inter: NetworkModel | None = None) -> list[RankResult]:
+    """Build *nnodes* identical systems and run *program* across them."""
+    systems = [System(config) for _ in range(nnodes)]
+    rt = MultiNodeRuntime(systems, ranks_per_node=ranks_per_node, inter=inter)
+    return rt.run(program)

@@ -1,0 +1,66 @@
+"""Network cost models for the simulated MPI runtime.
+
+All experiments in the paper run MPI ranks within one node (one cluster of
+four cores), so the default model is shared-memory MPI: a Hockney
+latency–bandwidth model whose parameters come from typical on-node MPI
+performance, expressed in *core cycles* so they scale with the modeled
+clock the same way real software overhead does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "shared_memory_network", "ethernet_network"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Hockney (alpha-beta) point-to-point cost model.
+
+    ``alpha_cycles``
+        per-message software + transport latency in core cycles.
+    ``bytes_per_cycle``
+        sustained point-to-point bandwidth.
+    ``eager_limit``
+        messages up to this size complete at the sender immediately
+        (buffered eager protocol); larger ones rendezvous.
+    """
+
+    alpha_cycles: int = 1500
+    bytes_per_cycle: float = 8.0
+    eager_limit: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.alpha_cycles < 0:
+            raise ValueError("alpha_cycles must be non-negative")
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles to move one message of *nbytes* after both sides are ready."""
+        return self.alpha_cycles + int(nbytes / self.bytes_per_cycle)
+
+
+def shared_memory_network(core_ghz: float) -> NetworkModel:
+    """On-node MPI through shared memory.
+
+    ~0.7 microseconds latency and ~6 GB/s sustained per pair — typical for
+    open-source MPI stacks on small in-order/OoO cores; both converted to
+    cycles at the platform clock.
+    """
+    return NetworkModel(
+        alpha_cycles=int(0.7e-6 * core_ghz * 1e9),
+        bytes_per_cycle=6.0e9 / (core_ghz * 1e9),
+        eager_limit=8192,
+    )
+
+
+def ethernet_network(core_ghz: float, gbps: float = 10.0,
+                     latency_us: float = 20.0) -> NetworkModel:
+    """Cross-node network (for the future-work multi-node experiments)."""
+    return NetworkModel(
+        alpha_cycles=int(latency_us * 1e-6 * core_ghz * 1e9),
+        bytes_per_cycle=(gbps / 8) * 1e9 / (core_ghz * 1e9),
+        eager_limit=4096,
+    )

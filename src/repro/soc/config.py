@@ -1,0 +1,106 @@
+"""Chipyard-like SoC configuration: one object describes a whole system.
+
+A :class:`SoCConfig` bundles the core kind and parameters, the memory
+hierarchy, the branch-prediction front end, the clock, and the core count —
+the same knobs Table 4/5 of the paper enumerates for the FireSim models and
+the hardware platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..core.inorder import InOrderConfig
+from ..core.ooo import OoOConfig
+from ..mem.hierarchy import HierarchyConfig
+from ..mem.prefetch import PrefetcherConfig
+
+__all__ = ["BranchPredictorConfig", "SoCConfig"]
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Front-end predictor selection and sizing."""
+
+    kind: str = "rocket"      #: "rocket" (BHT+BTB+RAS) | "boom" (TAGE-L) | "gshare"
+    bht_entries: int = 512
+    btb_entries: int = 32
+    ras_depth: int = 6
+    tage_tables: int = 6
+    tage_table_bits: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("rocket", "boom", "gshare"):
+            raise ValueError(f"unknown predictor kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Complete description of a simulated system or a silicon reference."""
+
+    name: str
+    core_type: str                      #: "inorder" | "ooo"
+    ncores: int = 4
+    core_ghz: float = 1.6
+    inorder: InOrderConfig | None = None
+    ooo: OoOConfig | None = None
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    #: silicon models carry a hardware prefetcher; FireSim tiles do not
+    prefetcher: PrefetcherConfig | None = None
+    #: True for the reference-hardware stand-ins (Banana Pi / MILK-V)
+    is_silicon: bool = False
+    #: FireSim host simulation rate in MHz (None for silicon)
+    host_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.core_type not in ("inorder", "ooo"):
+            raise ValueError(f"core_type must be 'inorder' or 'ooo', got {self.core_type!r}")
+        if self.core_type == "inorder" and self.inorder is None:
+            raise ValueError(f"{self.name}: inorder core requires an InOrderConfig")
+        if self.core_type == "ooo" and self.ooo is None:
+            raise ValueError(f"{self.name}: ooo core requires an OoOConfig")
+        if self.ncores < 1:
+            raise ValueError("ncores must be >= 1")
+        if self.core_ghz <= 0:
+            raise ValueError("core_ghz must be positive")
+        if self.hierarchy.core_ghz != self.core_ghz:
+            raise ValueError(
+                f"{self.name}: hierarchy.core_ghz ({self.hierarchy.core_ghz}) "
+                f"must match core_ghz ({self.core_ghz})"
+            )
+
+    def with_(self, **changes) -> "SoCConfig":
+        """Return a modified copy (ablation helper)."""
+        return dataclasses.replace(self, **changes)
+
+    def seconds(self, cycles: int) -> float:
+        """Convert target cycles to target seconds at this SoC's clock."""
+        return cycles / (self.core_ghz * 1e9)
+
+    def summary(self) -> dict[str, str]:
+        """Human-readable one-line spec per Table 4's columns."""
+        h = self.hierarchy
+        row: dict[str, str] = {
+            "Model": self.name,
+            "Clock": f"{self.core_ghz} GHz",
+            "L1D/I": f"Sets:{h.l1d.sets}, Ways:{h.l1d.ways}",
+            "L2 Banks": str(h.l2.banks),
+            "System bus": f"{h.bus.width_bits}-bit",
+        }
+        if self.core_type == "inorder":
+            assert self.inorder is not None
+            row["Front End"] = (
+                f"Fetch:{self.inorder.fetch_width}, Decode:{self.inorder.issue_width}"
+            )
+            row["RoB"] = "N/A"
+            row["LSQ"] = "N/A"
+        else:
+            assert self.ooo is not None
+            row["Front End"] = (
+                f"Fetch:{self.ooo.fetch_width}, Decode:{self.ooo.decode_width}"
+            )
+            row["RoB"] = f"RoB:{self.ooo.rob_size}"
+            row["LSQ"] = f"Load:{self.ooo.ldq}, Store:{self.ooo.stq}"
+        return row

@@ -1,0 +1,144 @@
+"""Multi-tile system assembly and execution.
+
+A :class:`System` instantiates ``ncores`` tiles (core + private L1s/TLBs)
+over one shared :class:`repro.mem.Uncore` and runs instruction traces on
+them — serially per tile, or in FireSim-style token lockstep across tiles
+(:meth:`System.run_parallel`), which is how the multi-rank MPI experiments
+execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.base import CoreResult
+from ..core.branch import (
+    BTB,
+    BimodalBHT,
+    BranchUnit,
+    GShare,
+    ReturnAddressStack,
+    TAGE,
+)
+from ..core.inorder import InOrderCore
+from ..core.ooo import OoOCore
+from ..isa.trace import Trace
+from ..mem.hierarchy import TilePort, Uncore
+from ..mem.prefetch import StridePrefetcher
+from .config import BranchPredictorConfig, SoCConfig
+from .tokens import LockstepScheduler
+
+__all__ = ["Tile", "System", "build_branch_unit"]
+
+
+def build_branch_unit(cfg: BranchPredictorConfig) -> BranchUnit:
+    """Construct the front-end predictor stack a config asks for."""
+    if cfg.kind == "rocket":
+        direction = BimodalBHT(cfg.bht_entries)
+    elif cfg.kind == "gshare":
+        direction = GShare(cfg.bht_entries)
+    else:  # boom
+        direction = TAGE(num_tables=cfg.tage_tables, table_bits=cfg.tage_table_bits,
+                         max_hist=128)
+    return BranchUnit(
+        direction,
+        BTB(cfg.btb_entries, assoc=2 if cfg.btb_entries < 64 else 4),
+        ReturnAddressStack(cfg.ras_depth),
+    )
+
+
+@dataclass
+class Tile:
+    """One tile: a core model bound to its private memory port."""
+
+    tile_id: int
+    core: InOrderCore | OoOCore
+    port: TilePort
+
+    @property
+    def local_time(self) -> int:
+        return self.core.local_time
+
+    def run(self, trace: Trace) -> CoreResult:
+        return self.core.run(trace)
+
+
+class _TileLane:
+    """Adapts a (tile, trace) pair to the LockstepScheduler Lane protocol."""
+
+    def __init__(self, tile: Tile, trace: Trace, chunk: int = 2048) -> None:
+        self.tile = tile
+        self.trace = trace
+        self.chunk = chunk
+        self.offset = 0
+        self.result: CoreResult | None = None
+
+    def local_time(self) -> int:
+        return self.tile.core.local_time
+
+    def advance(self, until: int) -> bool:
+        n = len(self.trace)
+        while self.offset < n and self.tile.core.local_time < until:
+            seg = self.trace[self.offset:self.offset + self.chunk]
+            r = self.tile.core.run(seg)
+            self.result = r if self.result is None else self.result + r
+            self.offset += len(seg)
+        return self.offset < n
+
+
+class System:
+    """``ncores`` tiles over a shared uncore, built from a :class:`SoCConfig`."""
+
+    def __init__(self, cfg: SoCConfig) -> None:
+        self.cfg = cfg
+        self.uncore = Uncore(cfg.hierarchy)
+        self.tiles: list[Tile] = []
+        for i in range(cfg.ncores):
+            port = TilePort(self.uncore, tile_id=i)
+            if cfg.prefetcher is not None:
+                port.attach_prefetcher(StridePrefetcher(cfg.prefetcher, port.l1d))
+            bru = build_branch_unit(cfg.branch)
+            if cfg.core_type == "inorder":
+                assert cfg.inorder is not None
+                core: InOrderCore | OoOCore = InOrderCore(cfg.inorder, port, bru)
+            else:
+                assert cfg.ooo is not None
+                core = OoOCore(cfg.ooo, port, bru)
+            self.tiles.append(Tile(i, core, port))
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, trace: Trace, tile: int = 0) -> CoreResult:
+        """Run a trace to completion on one tile."""
+        return self.tiles[tile].run(trace)
+
+    def run_parallel(self, traces: list[Trace], quantum: int = 4096,
+                     chunk: int = 2048) -> list[CoreResult]:
+        """Run one trace per tile under token lockstep.
+
+        ``traces[i]`` runs on tile *i*; fewer traces than tiles leaves the
+        remaining tiles idle.  Returns per-tile results (aligned to input).
+        """
+        if len(traces) > len(self.tiles):
+            raise ValueError(
+                f"{len(traces)} traces for {len(self.tiles)} tiles"
+            )
+        lanes = [_TileLane(self.tiles[i], t, chunk=chunk)
+                 for i, t in enumerate(traces)]
+        LockstepScheduler(quantum=quantum).run(list(lanes))
+        out = []
+        for lane in lanes:
+            assert lane.result is not None or len(lane.trace) == 0
+            out.append(lane.result or CoreResult(cycles=0, instructions=0))
+        return out
+
+    def seconds(self, result: CoreResult) -> float:
+        """Target wall-clock of a result at this system's core frequency."""
+        return result.cycles / (self.cfg.core_ghz * 1e9)
+
+    def warm(self) -> None:
+        """Placeholder for API symmetry: systems start cold; workloads run a
+        warmup slice explicitly when steady-state behaviour is wanted."""
+
+    def __repr__(self) -> str:
+        return f"System({self.cfg.name}, {self.cfg.ncores}x {self.cfg.core_type} @ {self.cfg.core_ghz} GHz)"

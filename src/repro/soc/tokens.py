@@ -1,0 +1,100 @@
+"""FireSim-style token-based lockstep coordination.
+
+FireSim decouples target time from host time by exchanging *tokens*
+between simulated components: a component may only advance its target
+clock when it holds tokens from every peer, which bounds clock skew to the
+token-channel capacity and makes multi-FPGA simulation deterministic.
+
+We reproduce the scheme at the scheduler level: each lane (tile) advances
+in bounded quanta, and the lane with the smallest local clock always runs
+next, so cross-lane interactions through shared uncore state happen in a
+deterministic, almost-time-ordered way regardless of Python iteration
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+__all__ = ["TokenChannel", "Lane", "LockstepScheduler", "SchedulerStats"]
+
+
+class TokenChannel:
+    """Bounded token queue between a producer and a consumer clock domain.
+
+    Capacity = maximum cycles the producer may run ahead of the consumer.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._produced = 0
+        self._consumed = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._produced - self._consumed
+
+    def can_produce(self, n: int = 1) -> bool:
+        return self.occupancy + n <= self.capacity
+
+    def produce(self, n: int = 1) -> None:
+        if not self.can_produce(n):
+            raise RuntimeError("token channel overflow: producer ran ahead")
+        self._produced += n
+
+    def consume(self, n: int = 1) -> None:
+        if self.occupancy < n:
+            raise RuntimeError("token channel underflow: consumer ran ahead")
+        self._consumed += n
+
+
+class Lane(Protocol):
+    """A schedulable clock domain (one tile running one instruction stream)."""
+
+    def local_time(self) -> int:
+        """Current target-clock position of this lane, in cycles."""
+        ...
+
+    def advance(self, until: int) -> bool:
+        """Run until ``local_time() >= until`` or the stream ends.
+
+        Returns True while more work remains.
+        """
+        ...
+
+
+@dataclass
+class SchedulerStats:
+    quanta: int = 0
+    max_skew: int = 0
+
+
+class LockstepScheduler:
+    """Advance lanes in token quanta, least-advanced lane first."""
+
+    def __init__(self, quantum: int = 4096) -> None:
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self.stats = SchedulerStats()
+
+    def run(self, lanes: list) -> None:
+        """Run all lanes to completion under bounded skew."""
+        live = {i: lane for i, lane in enumerate(lanes)}
+        while live:
+            # pick the least-advanced live lane (deterministic tie-break on id)
+            idx = min(live, key=lambda i: (live[i].local_time(), i))
+            lane = live[idx]
+            target = lane.local_time() + self.quantum
+            more = lane.advance(target)
+            self.stats.quanta += 1
+            if live:
+                times = [l.local_time() for l in live.values()]
+                skew = max(times) - min(times)
+                if skew > self.stats.max_skew:
+                    self.stats.max_skew = skew
+            if not more:
+                del live[idx]

@@ -1,0 +1,20 @@
+"""Workloads: MicroBench suite, NPB, UME proxy app, LAMMPS-mini."""
+
+from . import lammps, microbench, npb, ume
+from .base import KernelSpec, LoopEmitter, MicroKernel, PhaseEmitter
+from .compiler import GCC_9_4, GCC_13_2, GccModel, apply_compiler
+
+__all__ = [
+    "microbench",
+    "npb",
+    "ume",
+    "lammps",
+    "KernelSpec",
+    "MicroKernel",
+    "LoopEmitter",
+    "PhaseEmitter",
+    "GccModel",
+    "GCC_9_4",
+    "GCC_13_2",
+    "apply_compiler",
+]

@@ -1,0 +1,173 @@
+"""Workload abstractions shared by MicroBench, NPB, UME, and LAMMPS.
+
+Two workload shapes exist:
+
+* :class:`MicroKernel` — a single-core kernel that *builds an instruction
+  trace* (the cycle-level drive mode).  The harness runs the trace once to
+  warm caches/predictors and once for measurement, the way microbenchmark
+  harnesses run a warmup pass before timing.
+* MPI applications (NPB/UME/LAMMPS) are generator programs for
+  :mod:`repro.smpi`; they use :class:`PhaseEmitter` to lower their NumPy
+  compute phases into representative traces.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..isa.opcodes import OpClass
+from ..isa.trace import Trace, TraceBuilder
+
+__all__ = ["KernelSpec", "MicroKernel", "LoopEmitter", "PhaseEmitter", "CODE_BASE"]
+
+#: Base address for synthetic kernel code.
+CODE_BASE = 0x1_0000
+#: Base address for kernel data regions (kernels offset from here).
+DATA_BASE = 0x1000_0000
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Identity of one microbenchmark (paper Table 1 row)."""
+
+    name: str
+    category: str       #: "Control Flow" | "Data" | "Execution" | "Cache" | "Memory"
+    description: str
+    broken: bool = False  #: CRm segfaults on all platforms (paper §3.2.1)
+
+
+class MicroKernel(abc.ABC):
+    """A trace-building microbenchmark kernel."""
+
+    spec: KernelSpec
+
+    #: measured dynamic ops at scale=1 (approximate)
+    default_ops: int = 30_000
+
+    #: whether the harness should run an (identical) warmup pass first;
+    #: kernels that must see cold lines every pass (MM, MM_st) disable it
+    needs_warmup: bool = True
+
+    #: harness scales below this are clamped: kernels whose behaviour
+    #: depends on a footprint threshold (e.g. MIP's code size vs the L2
+    #: capacity) declare the smallest scale that preserves the regime
+    min_harness_scale: float = 0.0
+
+    @abc.abstractmethod
+    def build(self, scale: float = 1.0, seed: int = 0) -> Trace:
+        """Build the measured trace.  ``scale`` shrinks/grows iteration
+        counts (tests use small scales); the *footprints* stay fixed so the
+        kernel keeps stressing the same level of the hierarchy."""
+
+    def iters(self, base: int, scale: float) -> int:
+        """Scaled iteration count, at least 4."""
+        return max(4, int(base * scale))
+
+    def __repr__(self) -> str:
+        return f"<MicroKernel {self.spec.name} ({self.spec.category})>"
+
+
+class LoopEmitter:
+    """Emit a loop body repeatedly at stable static PCs.
+
+    Re-running a body with the same code addresses is what lets branch
+    predictors and the I-cache behave as they would on a real loop; the
+    builder's PC is rewound to the loop head each iteration, and a backedge
+    branch is emitted automatically.
+    """
+
+    def __init__(self, builder: TraceBuilder | None = None,
+                 pc0: int = CODE_BASE) -> None:
+        self.b = builder or TraceBuilder(pc0=pc0)
+        self._top = self.b.pc
+
+    def loop(self, n: int, body, counter_reg: int = 30) -> TraceBuilder:
+        """Run ``body(b, i)`` *n* times with a backedge branch after each.
+
+        The backedge is taken for every iteration but the last — the
+        completely-biased pattern real counted loops produce.
+        """
+        b = self.b
+        for i in range(n):
+            b.pc = self._top
+            body(b, i)
+            b.alu(counter_reg, counter_reg)          # decrement counter
+            b.branch(i != n - 1, src1=counter_reg, target=self._top)
+        return b
+
+    def build(self) -> Trace:
+        return self.b.build()
+
+
+class PhaseEmitter:
+    """Lower an application compute phase into a representative trace.
+
+    Applications know their op mix (loads/stores/flops/int ops per element)
+    and their memory-access structure (streaming arrays, indexed gathers).
+    ``emit`` produces a trace with that mix and *real* address streams, so
+    the cache hierarchy sees the application's locality, while the loop
+    body keeps stable PCs for the front end.
+    """
+
+    def __init__(self, pc0: int = CODE_BASE) -> None:
+        self.pc0 = pc0
+
+    def emit(
+        self,
+        loads: np.ndarray | None = None,
+        stores: np.ndarray | None = None,
+        fp_per_elem: float = 0.0,
+        int_per_elem: float = 2.0,
+        fp_op: OpClass = OpClass.FP_FMA,
+        fp_chain: bool = False,
+        elems: int | None = None,
+    ) -> Trace:
+        """Build a loop trace: per element, the given loads/stores plus the
+        fp/int op mix.  ``loads``/``stores`` are address arrays consumed one
+        per element (the longer one sets the element count unless ``elems``
+        is given); ``fp_chain`` makes the FP ops a dependency chain
+        (reductions) instead of independent (streaming)."""
+        la = np.asarray(loads, dtype=np.uint64) if loads is not None else None
+        sa = np.asarray(stores, dtype=np.uint64) if stores is not None else None
+        n_l = len(la) if la is not None else 0
+        n_s = len(sa) if sa is not None else 0
+        n = elems if elems is not None else max(n_l, n_s, 1)
+        lpe = n_l / n if n else 0
+        spe = n_s / n if n else 0
+
+        em = LoopEmitter(pc0=self.pc0)
+        li = si = 0
+        fp_acc = 0.0
+        int_acc = 0.0
+        l_acc = 0.0
+        s_acc = 0.0
+
+        def body(b: TraceBuilder, i: int) -> None:
+            nonlocal li, si, fp_acc, int_acc, l_acc, s_acc
+            l_acc += lpe
+            while l_acc >= 1.0 and li < n_l:
+                b.load(40 + (li % 4), int(la[li]), base=10)
+                li += 1
+                l_acc -= 1.0
+            int_acc += int_per_elem
+            while int_acc >= 1.0:
+                b.alu(10 + (i % 4), 10 + (i % 4), 11)
+                int_acc -= 1.0
+            fp_acc += fp_per_elem
+            while fp_acc >= 1.0:
+                if fp_chain:
+                    b.fp(fp_op, 44, 44, 40 + (i % 4))
+                else:
+                    b.fp(fp_op, 45 + (i % 8), 40 + (i % 4), 41)
+                fp_acc -= 1.0
+            s_acc += spe
+            while s_acc >= 1.0 and si < n_s:
+                b.store(45 + (i % 8), int(sa[si]), base=12)
+                si += 1
+                s_acc -= 1.0
+
+        em.loop(n, body)
+        return em.build()

@@ -1,0 +1,117 @@
+"""Compiler-version effects (paper Table 3).
+
+The study could not hold the toolchain constant: FireSim's Ubuntu 20.04
+images ship GCC 9.4.0 while both boards ran GCC 13.2 ("Upgrading GCC on
+FireSim to version 13.2 requires building it from source code which is
+time-consuming", §3.2.5).  Older GCC generates measurably less efficient
+RISC-V code — weaker instruction scheduling, more redundant moves, more
+register spills — so the simulated side carries a small extra dynamic
+instruction count.
+
+:class:`GccModel` makes that effect explicit and controllable: it rewrites
+a micro-op trace, inserting redundant ALU ops and spill load/store pairs
+at version-dependent rates.  The default experiments run *without* it (so
+the architectural comparison stays clean); the ablation bench quantifies
+how much of the paper's gap the toolchain mismatch alone explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..isa.opcodes import OpClass
+from ..isa.trace import Trace
+
+__all__ = ["GccModel", "GCC_9_4", "GCC_13_2", "apply_compiler"]
+
+
+@dataclass(frozen=True)
+class GccModel:
+    """Dynamic-instruction overhead of a compiler version, relative to the
+    best toolchain in the study."""
+
+    name: str
+    #: redundant integer ops inserted per original op
+    redundant_rate: float = 0.0
+    #: spill (store+reload) pairs inserted per original op
+    spill_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.redundant_rate < 1 or not 0 <= self.spill_rate < 1:
+            raise ValueError("rates must be in [0, 1)")
+
+    @property
+    def overhead(self) -> float:
+        """Expected dynamic-instruction inflation factor."""
+        return 1.0 + self.redundant_rate + 2 * self.spill_rate
+
+    def transform(self, trace: Trace, seed: int = 0,
+                  stack_base: int = 0x7F00_0000) -> Trace:
+        """Insert the version's overhead ops into *trace* (deterministic)."""
+        if self.redundant_rate == 0 and self.spill_rate == 0:
+            return trace
+        rng = np.random.default_rng(seed + 0x9C)
+        n = len(trace)
+        extra_alu = rng.random(n) < self.redundant_rate
+        extra_spill = rng.random(n) < self.spill_rate
+        counts = 1 + extra_alu.astype(np.int64) + 2 * extra_spill.astype(np.int64)
+        total = int(counts.sum())
+
+        out_idx = np.repeat(np.arange(n), counts)
+        op = trace.op[out_idx].copy()
+        dst = trace.dst[out_idx].copy()
+        src1 = trace.src1[out_idx].copy()
+        src2 = trace.src2[out_idx].copy()
+        addr = trace.addr[out_idx].copy()
+        size = trace.size[out_idx].copy()
+        taken = trace.taken[out_idx].copy()
+        pc = trace.pc[out_idx].copy()
+        target = trace.target[out_idx].copy()
+
+        # positions of the inserted ops: every slot whose predecessor maps
+        # to the same original op is an insertion
+        ins_mask = np.zeros(total, dtype=bool)
+        ins_mask[1:] = out_idx[1:] == out_idx[:-1]
+        ins_pos = np.nonzero(ins_mask)[0]
+
+        # alternate redundant moves and spill traffic deterministically
+        slot = rng.integers(0, 64, size=len(ins_pos))
+        for k, p in enumerate(ins_pos):
+            if k % 3 == 0:
+                op[p] = int(OpClass.INT_ALU)   # redundant move/addi
+                dst[p] = 28
+                src1[p] = 28
+                src2[p] = -1
+                addr[p] = 0
+                taken[p] = False
+            elif k % 3 == 1:
+                op[p] = int(OpClass.STORE)     # spill
+                dst[p] = -1
+                src1[p] = 2
+                src2[p] = 28
+                addr[p] = stack_base + int(slot[k]) * 8
+                size[p] = 8
+                taken[p] = False
+            else:
+                op[p] = int(OpClass.LOAD)      # reload
+                dst[p] = 28
+                src1[p] = 2
+                src2[p] = -1
+                addr[p] = stack_base + int(slot[k]) * 8
+                size[p] = 8
+                taken[p] = False
+        return Trace(op, dst, src1, src2, addr, size, taken, pc, target)
+
+
+#: FireSim's toolchain (Ubuntu 20.04): modest codegen penalty vs GCC 13.
+GCC_9_4 = GccModel(name="gcc-9.4.0", redundant_rate=0.04, spill_rate=0.01)
+
+#: The boards' toolchain — the baseline.
+GCC_13_2 = GccModel(name="gcc-13.2", redundant_rate=0.0, spill_rate=0.0)
+
+
+def apply_compiler(trace: Trace, model: GccModel, seed: int = 0) -> Trace:
+    """Convenience wrapper: ``model.transform(trace, seed)``."""
+    return model.transform(trace, seed=seed)

@@ -1,0 +1,88 @@
+"""Initial configurations for the two paper benchmarks: LJ melt and
+FENE polymer chains (both 32 000 atoms / 100 steps in the paper; sizes are
+parameters here)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lj_lattice", "chain_system"]
+
+
+def lj_lattice(natoms: int, density: float = 0.8442,
+               t0: float = 1.44, seed: int = 41
+               ) -> tuple[np.ndarray, np.ndarray, float]:
+    """LAMMPS ``melt``-style setup: fcc lattice at the given reduced
+    density with Gaussian velocities at temperature *t0* (zeroed drift).
+
+    Returns (positions, velocities, box edge).  ``natoms`` is rounded up
+    to the nearest full fcc lattice (4 atoms per cell).
+    """
+    ncell = max(1, int(np.ceil((natoms / 4) ** (1 / 3))))
+    n = 4 * ncell**3
+    box = (n / density) ** (1 / 3)
+    a = box / ncell
+    base = np.array([[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]])
+    cells = np.array(np.meshgrid(range(ncell), range(ncell), range(ncell),
+                                 indexing="ij")).reshape(3, -1).T
+    pos = (cells[:, None, :] + base[None, :, :]).reshape(-1, 3) * a
+    rng = np.random.default_rng(seed)
+    vel = rng.normal(0.0, np.sqrt(t0), size=pos.shape)
+    vel -= vel.mean(axis=0)  # zero total momentum
+    return pos, vel, box
+
+
+def chain_system(nchains: int, beads_per_chain: int = 32,
+                 density: float = 0.5, bond_len: float = 0.97,
+                 t0: float = 1.0, seed: int = 43
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Bead-spring polymer melt: straight chains laid on a lattice with a
+    small jitter (LAMMPS ``chain`` benchmark style: FENE bonds + WCA pairs).
+
+    Returns (positions, velocities, bonds, box edge).
+    """
+    n = nchains * beads_per_chain
+    box = (n / density) ** (1 / 3)
+    rng = np.random.default_rng(seed)
+
+    # Each chain serpentines along x inside its own (y, z) slot; the fold
+    # steps sideways by exactly bond_len, so every consecutive pair is
+    # bond_len apart.  Slots are sized so distinct chains stay > 1.2 sigma
+    # apart (outside the WCA core); the box grows if the target density
+    # cannot accommodate that, making `density` an upper bound.
+    clearance = 1.25
+    while True:
+        row_len = max(2, int(0.9 * box / bond_len))
+        rows = -(-beads_per_chain // row_len)
+        y_extent = (rows - 1) * bond_len
+        grid_y = max(1, int(box / (y_extent + clearance)))
+        grid_z = -(-nchains // grid_y)
+        if box / grid_z >= clearance or nchains == 1:
+            break
+        box *= 1.1
+    pitch_y = box / grid_y
+    pitch_z = box / grid_z
+
+    pos = np.empty((n, 3))
+    bonds = []
+    for c in range(nchains):
+        gz, gy = divmod(c, grid_y)
+        y = (gy + 0.1) * pitch_y
+        z = (gz + 0.5) * pitch_z
+        x = 0.05 * box
+        dirx = 1.0
+        for b in range(beads_per_chain):
+            idx = c * beads_per_chain + b
+            pos[idx] = (x, y, z)
+            if b > 0:
+                bonds.append((idx - 1, idx))
+            nx = x + dirx * bond_len
+            if nx > 0.95 * box or nx < 0.05 * box:
+                y += bond_len  # fold: step sideways, keep bond length
+                dirx = -dirx
+            else:
+                x = nx
+    pos += rng.uniform(-0.02, 0.02, size=pos.shape)
+    vel = rng.normal(0.0, np.sqrt(t0), size=pos.shape)
+    vel -= vel.mean(axis=0)
+    return pos, vel, np.array(bonds, dtype=np.int64), box

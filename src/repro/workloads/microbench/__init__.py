@@ -1,0 +1,23 @@
+"""MicroBench: the 40-kernel microarchitecture benchmark suite (Table 1)."""
+
+from .suite import (
+    KERNEL_CLASSES,
+    KernelRun,
+    all_kernels,
+    categories,
+    get_kernel,
+    run_kernel,
+    run_suite,
+    runnable_kernels,
+)
+
+__all__ = [
+    "KERNEL_CLASSES",
+    "KernelRun",
+    "all_kernels",
+    "categories",
+    "get_kernel",
+    "run_kernel",
+    "run_suite",
+    "runnable_kernels",
+]

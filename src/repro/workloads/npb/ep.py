@@ -1,0 +1,146 @@
+"""NPB EP — Embarrassingly Parallel (compute-bound).
+
+Generates pairs of uniform deviates with the NPB linear congruential
+generator, applies the Marsaglia polar acceptance test, and accumulates
+Gaussian-pair counts per annulus.  Communication is a single allreduce at
+the end, which is why EP isolates raw compute capability (and why it is
+the benchmark where the paper sees near performance parity between the
+Large BOOM model and the MILK-V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...isa.opcodes import OpClass
+from ...smpi.comm import Comm
+from ..base import PhaseEmitter
+from .common import AddressSpace, NPBResult, check_class, run_npb_program
+
+__all__ = ["EP_CLASSES", "ep_reference", "ep_program", "run_ep"]
+
+#: pairs per class (NPB uses 2^24..2^28; rescaled for tractable traces)
+EP_CLASSES = {"S": 1 << 10, "W": 1 << 12, "A": 1 << 14}
+
+_LCG_A = 1220703125.0
+_R23 = 2.0**-23
+_R46 = _R23 * _R23
+_T23 = 2.0**23
+_T46 = _T23 * _T23
+
+
+def _lcg_stream(seed: float, n: int) -> np.ndarray:
+    """NPB's vranlc: n uniform deviates from the 46-bit LCG (vectorised in
+    blocks for speed while preserving the exact NPB sequence)."""
+    out = np.empty(n)
+    x = seed
+    a1 = np.floor(_R23 * _LCG_A)
+    a2 = _LCG_A - _T23 * a1
+    for i in range(n):
+        x1 = np.floor(_R23 * x)
+        x2 = x - _T23 * x1
+        t1 = a1 * x2 + a2 * x1
+        t2 = np.floor(_R23 * t1)
+        z = t1 - _T23 * t2
+        t3 = _T23 * z + a2 * x2
+        t4 = np.floor(_R46 * t3)
+        x = t3 - _T46 * t4
+        out[i] = _R46 * x
+    return out
+
+
+def _lcg_skip(seed: float, k: int) -> float:
+    """Advance the LCG by k steps (power-of-two exponentiation)."""
+    a = _LCG_A
+    x = seed
+    while k:
+        if k & 1:
+            x = _mul46(a, x)
+        a = _mul46(a, a)
+        k >>= 1
+    return x
+
+
+def _mul46(a: float, b: float) -> float:
+    a1 = np.floor(_R23 * a)
+    a2 = a - _T23 * a1
+    b1 = np.floor(_R23 * b)
+    b2 = b - _T23 * b1
+    t1 = a1 * b2 + a2 * b1
+    t2 = np.floor(_R23 * t1)
+    z = t1 - _T23 * t2
+    t3 = _T23 * z + a2 * b2
+    t4 = np.floor(_R46 * t3)
+    return t3 - _T46 * t4
+
+
+def _ep_kernel(seed: float, pairs: int) -> tuple[float, float, np.ndarray]:
+    """Generate *pairs* (x, y) pairs and apply the polar test."""
+    u = _lcg_stream(seed, 2 * pairs)
+    x = 2.0 * u[0::2] - 1.0
+    y = 2.0 * u[1::2] - 1.0
+    t = x * x + y * y
+    accept = t <= 1.0
+    xa, ya, ta = x[accept], y[accept], t[accept]
+    f = np.sqrt(-2.0 * np.log(ta) / ta)
+    gx, gy = f * xa, f * ya
+    sx = float(np.sum(gx))
+    sy = float(np.sum(gy))
+    m = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+    counts = np.bincount(np.clip(m, 0, 9), minlength=10).astype(np.float64)
+    return sx, sy, counts
+
+
+def ep_reference(cls: str) -> tuple[float, float, np.ndarray]:
+    """Single-threaded reference result for verification."""
+    return _ep_kernel(271828183.0, EP_CLASSES[cls])
+
+
+def ep_program(comm: Comm, cls: str):
+    """Per-rank EP program: local generation + one allreduce."""
+    pairs_total = EP_CLASSES[cls]
+    per = pairs_total // comm.size
+    lo = comm.rank * per
+    hi = pairs_total if comm.rank == comm.size - 1 else lo + per
+    n = hi - lo
+    seed = _lcg_skip(271828183.0, 2 * lo)
+
+    sx, sy, counts = _ep_kernel(seed, n)
+
+    # timing: per pair, ~10 FP ops (LCG + polar test + sqrt/log kernel),
+    # ~4 int ops, and negligible memory traffic (register-resident batches)
+    asp = AddressSpace(comm.rank)
+    scratch = asp.alloc(4096)
+    em = PhaseEmitter()
+    trace = em.emit(
+        loads=(scratch + (np.arange(n) % 64) * 8).astype(np.uint64),
+        fp_per_elem=10.0,
+        int_per_elem=4.0,
+        fp_op=OpClass.FP_FMA,
+        elems=n,
+    )
+    yield from comm.compute(trace)
+
+    packed = np.concatenate([[sx, sy], counts])
+    total = yield from comm.allreduce(packed)
+    return total
+
+
+def run_ep(config, nranks: int = 1, cls: str = "A") -> NPBResult:
+    """Run EP and verify the combined sums against the serial reference."""
+    check_class(cls)
+    ref_sx, ref_sy, ref_counts = ep_reference(cls)
+
+    def verify(values: list) -> bool:
+        v = values[0]
+        for other in values[1:]:
+            if not np.allclose(v, other):
+                return False
+        return (
+            np.isclose(v[0], ref_sx, rtol=1e-8)
+            and np.isclose(v[1], ref_sy, rtol=1e-8)
+            and np.allclose(v[2:], ref_counts)
+        )
+
+    return run_npb_program(config, nranks, "EP", cls,
+                           lambda comm: ep_program(comm, cls), verify)

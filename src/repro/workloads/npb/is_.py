@@ -1,0 +1,103 @@
+"""NPB IS — Integer Sort (memory latency + bandwidth, all-to-all comm).
+
+Bucket sort of uniformly distributed integer keys: local histogramming
+(random-index read-modify-writes), an alltoall of bucket counts, an
+alltoall of the keys themselves (the big messages that stress the
+interconnect in real NPB runs), and a local counting sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...smpi.comm import Comm
+from ..base import PhaseEmitter
+from .common import AddressSpace, NPBResult, check_class, run_npb_program
+
+__all__ = ["IS_CLASSES", "is_reference_checksum", "is_program", "run_is"]
+
+#: (total keys, max key value).  NPB class A is 2^23 keys / 2^19 max;
+#: rescaled keeping the keys-per-bucket ratio.
+IS_CLASSES = {
+    "S": (1 << 10, 1 << 7),
+    "W": (1 << 13, 1 << 10),
+    "A": (1 << 15, 1 << 12),
+}
+
+
+def _keys_for(cls: str, rank: int, size: int) -> np.ndarray:
+    total, maxkey = IS_CLASSES[cls]
+    per = total // size
+    lo = rank * per
+    hi = total if rank == size - 1 else lo + per
+    rng = np.random.default_rng(777)
+    all_keys = rng.integers(0, maxkey, size=total, dtype=np.int64)
+    return all_keys[lo:hi]
+
+
+def is_reference_checksum(cls: str) -> int:
+    """Checksum of the globally sorted key array."""
+    total, maxkey = IS_CLASSES[cls]
+    rng = np.random.default_rng(777)
+    keys = np.sort(rng.integers(0, maxkey, size=total, dtype=np.int64))
+    w = np.arange(1, total + 1, dtype=np.int64)
+    return int(np.sum(keys * w) % (1 << 61))
+
+
+def is_program(comm: Comm, cls: str):
+    """Per-rank IS: histogram -> alltoall(counts) -> alltoall(keys) -> sort."""
+    total, maxkey = IS_CLASSES[cls]
+    p = comm.size
+    keys = _keys_for(cls, comm.rank, p)
+    n_local = len(keys)
+
+    asp = AddressSpace(comm.rank)
+    key_base = asp.alloc(n_local * 8)
+    hist_base = asp.alloc(maxkey * 8)
+    em = PhaseEmitter()
+
+    # --- local histogram: stream keys, random-index increment ---
+    hist = np.bincount(keys, minlength=maxkey)
+    key_addrs = asp.addrs(key_base, np.arange(n_local))
+    bucket_addrs = asp.addrs(hist_base, keys)  # the random accesses
+    loads = np.empty(2 * n_local, dtype=np.uint64)
+    loads[0::2] = key_addrs
+    loads[1::2] = bucket_addrs
+    trace = em.emit(loads=loads, stores=bucket_addrs,
+                    int_per_elem=3.0, elems=n_local)
+    yield from comm.compute(trace)
+
+    # --- exchange: which rank owns which key range ---
+    bounds = (np.arange(1, p + 1) * maxkey) // p
+    owner_of_key = np.searchsorted(bounds, keys, side="right")
+    send_blocks = [keys[owner_of_key == dst] for dst in range(p)]
+    recv_blocks = yield from comm.alltoall(send_blocks)
+
+    # --- local sort of owned keys ---
+    mine = np.sort(np.concatenate(recv_blocks)) if p > 1 else np.sort(keys)
+    # counting sort costs: one pass building counts + one writing output
+    out_base = asp.alloc(len(mine) * 8 + 64)
+    sort_loads = asp.addrs(key_base, np.arange(len(mine)))
+    sort_stores = asp.addrs(out_base, np.arange(len(mine)))
+    trace = em.emit(loads=sort_loads, stores=sort_stores,
+                    int_per_elem=4.0, elems=max(1, len(mine)))
+    yield from comm.compute(trace)
+
+    # --- global verification checksum ---
+    counts = yield from comm.allgather(len(mine))
+    offset = int(np.sum(counts[: comm.rank]))
+    w = np.arange(offset + 1, offset + len(mine) + 1, dtype=np.int64)
+    partial = int(np.sum(mine * w) % (1 << 61))
+    checksum = yield from comm.allreduce(partial, op=lambda a, b: (a + b) % (1 << 61))
+    return checksum
+
+
+def run_is(config, nranks: int = 1, cls: str = "A") -> NPBResult:
+    check_class(cls)
+    ref = is_reference_checksum(cls)
+
+    def verify(values: list) -> bool:
+        return all(v == ref for v in values)
+
+    return run_npb_program(config, nranks, "IS", cls,
+                           lambda comm: is_program(comm, cls), verify)

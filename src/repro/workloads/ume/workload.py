@@ -1,0 +1,202 @@
+"""UME as an MPI workload: three timed kernels over a partitioned mesh.
+
+Mirrors the paper's §5.3 experiment: run the original (scatter), inverted
+(gather), and face-area kernels on 1/2/4 MPI ranks, sum the three kernel
+times, and compare platforms.  Entities are block-partitioned (zones for
+the scatter, points for the gather, faces for the areas); partial point
+accumulations combine with an allreduce, and the scatter-vs-gather
+equality is the verification UME itself uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...isa.opcodes import OpClass
+from ...smpi.comm import Comm
+from ...smpi.runtime import RankResult, run_mpi
+from ...soc.config import SoCConfig
+from ...soc.system import System
+from ..base import PhaseEmitter
+from ..npb.common import AddressSpace
+from .kernels import KERNEL_NAMES, face_areas, point_from_zone_gather, zone_to_point_scatter
+from .mesh import UnstructuredMesh, build_box_mesh
+
+__all__ = ["UMEResult", "ume_program", "run_ume", "DEFAULT_MESH_N"]
+
+#: paper input is 32^3 zones; the default here keeps full-suite benches
+#: tractable while preserving the >L1 footprints (override per run)
+DEFAULT_MESH_N = 20
+
+
+@dataclass
+class UMEResult:
+    """Outcome of a UME run: per-kernel and total target times."""
+
+    config: str
+    nranks: int
+    mesh_n: int
+    verified: bool
+    kernel_cycles: dict[str, int]
+    core_ghz: float
+    ranks: list[RankResult] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.kernel_cycles.values())
+
+    @property
+    def seconds(self) -> float:
+        """Total runtime: the sum of the three kernels (paper §5.3)."""
+        return self.total_cycles / (self.core_ghz * 1e9)
+
+    def kernel_seconds(self, name: str) -> float:
+        return self.kernel_cycles[name] / (self.core_ghz * 1e9)
+
+
+def _zone_field(mesh: UnstructuredMesh) -> np.ndarray:
+    rng = np.random.default_rng(99)
+    return rng.random(mesh.nzones)
+
+
+def ume_program(comm: Comm, mesh: UnstructuredMesh):
+    """Per-rank UME program; returns the combined kernel results."""
+    p, r = comm.size, comm.rank
+    zfield = _zone_field(mesh)
+    asp = AddressSpace(r)
+    em = PhaseEmitter()
+
+    # synthetic bases for the mesh arrays this rank touches
+    zp_base = asp.alloc(mesh.zone_points.nbytes)
+    zf_base = asp.alloc(mesh.nzones * 8)
+    pt_acc_base = asp.alloc(mesh.npoints * 8)
+    clist_base = asp.alloc(mesh.point_corner_list.nbytes)
+    cz_base = asp.alloc(mesh.corner_zone.nbytes)
+    fp_base = asp.alloc(mesh.face_points.nbytes)
+    coord_base = asp.alloc(mesh.points.nbytes)
+    area_base = asp.alloc(mesh.nfaces * 8)
+
+    # ---- kernel 1: original (zone loop, scatter to points) ----
+    zlo, zhi = r * mesh.nzones // p, (r + 1) * mesh.nzones // p
+    my_scatter = zone_to_point_scatter(mesh, zfield, zlo, zhi)
+    corners = mesh.zone_points[zlo:zhi].ravel()
+    idx_loads = asp.addrs(zp_base, np.arange(zlo * 8, zhi * 8))
+    val_loads = asp.addrs(zf_base, np.repeat(np.arange(zlo, zhi), 8))
+    pt_addrs = asp.addrs(pt_acc_base, corners)
+    loads = np.empty(3 * len(corners), dtype=np.uint64)
+    loads[0::3] = idx_loads
+    loads[1::3] = val_loads
+    loads[2::3] = pt_addrs          # read-modify-write of the accumulator
+    # UME's signature is very high integer-op counts from the multi-level
+    # connectivity indirection (paper §3.2.3): ~7 address/index ops per
+    # corner around each accumulate
+    t_original = em.emit(loads=loads, stores=pt_addrs,
+                         fp_per_elem=1.0, int_per_elem=7.0,
+                         fp_op=OpClass.FP_ADD, elems=len(corners))
+    yield from comm.barrier(tag=8100)  # align kernel start
+    yield from comm.compute(t_original)
+    scatter_total = yield from comm.allreduce(my_scatter, tag=8200)
+
+    # ---- kernel 2: inverted (point loop, gather from zones) ----
+    plo, phi = r * mesh.npoints // p, (r + 1) * mesh.npoints // p
+    my_gather = point_from_zone_gather(mesh, zfield, plo, phi)
+    cs = mesh.point_corner_start
+    ncorner_local = int(cs[phi] - cs[plo])
+    cl_loads = asp.addrs(clist_base, np.arange(cs[plo], cs[phi]))
+    corner_ids = mesh.point_corner_list[cs[plo]:cs[phi]]
+    cz_loads = asp.addrs(cz_base, corner_ids)
+    zv_loads = asp.addrs(zf_base, mesh.corner_zone[corner_ids])
+    loads = np.empty(3 * ncorner_local, dtype=np.uint64)
+    loads[0::3] = cl_loads
+    loads[1::3] = cz_loads
+    loads[2::3] = zv_loads
+    t_inverted = em.emit(loads=loads,
+                         stores=asp.addrs(pt_acc_base,
+                                          np.repeat(np.arange(plo, phi),
+                                                    np.diff(cs[plo:phi + 1]))[
+                                              :ncorner_local]),
+                         fp_per_elem=1.0, int_per_elem=7.0,
+                         fp_op=OpClass.FP_ADD, fp_chain=True,
+                         elems=ncorner_local)
+    yield from comm.compute(t_inverted)
+    gather_total = yield from comm.allreduce(my_gather, tag=8300)
+
+    # ---- kernel 3: face areas ----
+    flo, fhi = r * mesh.nfaces // p, (r + 1) * mesh.nfaces // p
+    my_areas = face_areas(mesh, flo, fhi)
+    nfl = fhi - flo
+    fi_loads = asp.addrs(fp_base, np.arange(flo * 4, fhi * 4))
+    coord_loads = asp.addrs(coord_base, mesh.face_points[flo:fhi].ravel(),
+                            itemsize=24)
+    loads = np.empty(2 * 4 * nfl, dtype=np.uint64)
+    loads[0::2] = fi_loads
+    loads[1::2] = coord_loads
+    t_faces = em.emit(loads=loads,
+                      stores=asp.addrs(area_base, np.arange(flo, fhi)),
+                      fp_per_elem=3.0, int_per_elem=3.0,
+                      fp_op=OpClass.FP_FMA, elems=4 * nfl)
+    yield from comm.compute(t_faces)
+    area_sum = yield from comm.allreduce(float(my_areas.sum()), tag=8400)
+
+    return {
+        "scatter": scatter_total,
+        "gather": gather_total,
+        "area_sum": area_sum,
+    }
+
+
+def run_ume(config: SoCConfig, nranks: int = 1,
+            mesh_n: int = DEFAULT_MESH_N, warmup: bool = True) -> UMEResult:
+    """Run the three UME kernels and verify scatter == gather == analytic.
+
+    A warmup iteration runs first (UME's reported timings are steady-state:
+    the kernels execute repeatedly over resident mesh data); the measured
+    pass starts from warm caches.
+    """
+    mesh = build_box_mesh(mesh_n, jitter=0.2, seed=1)
+    system = System(config)
+
+    zfield = _zone_field(mesh)
+    ref_scatter = zone_to_point_scatter(mesh, zfield)
+    ref_area = float(face_areas(mesh).sum())
+
+    base = 0
+    if warmup:
+        run_mpi(system, nranks, lambda comm: ume_program(comm, mesh))
+        base = max(t.core.local_time for t in system.tiles[:nranks])
+    results = run_mpi(system, nranks, lambda comm: ume_program(comm, mesh))
+    cycles_total = max(r.cycles for r in results) - base
+
+    v0 = results[0].value
+    ok = (
+        np.allclose(v0["scatter"], ref_scatter)
+        and np.allclose(v0["gather"], ref_scatter)
+        and np.isclose(v0["area_sum"], ref_area, rtol=1e-9)
+    )
+
+    # per-kernel attribution: the three phases are serialised by their
+    # closing allreduces, so total cycles split proportionally to each
+    # kernel's instruction volume
+    shares = _kernel_shares(mesh, nranks)
+    kernel_cycles = {
+        k: int(cycles_total * s) for k, s in zip(KERNEL_NAMES, shares)
+    }
+    return UMEResult(
+        config=config.name,
+        nranks=nranks,
+        mesh_n=mesh_n,
+        verified=bool(ok),
+        kernel_cycles=kernel_cycles,
+        core_ghz=config.core_ghz,
+        ranks=results,
+    )
+
+
+def _kernel_shares(mesh: UnstructuredMesh, nranks: int) -> list[float]:
+    w_original = mesh.ncorners * 12
+    w_inverted = mesh.ncorners * 12
+    w_faces = mesh.nfaces * 4 * 8
+    total = w_original + w_inverted + w_faces
+    return [w_original / total, w_inverted / total, w_faces / total]

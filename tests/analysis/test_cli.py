@@ -1,0 +1,70 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_list_configs(capsys):
+    rc, out = run_cli(capsys, "list", "configs")
+    assert rc == 0
+    assert "Rocket1" in out and "MILKV-SG2042" in out
+    assert "silicon" in out and "firesim" in out
+
+
+def test_list_kernels(capsys):
+    rc, out = run_cli(capsys, "list", "kernels")
+    assert rc == 0
+    assert "MM" in out and "Cca" in out
+    assert "CRm" not in out  # broken kernel hidden
+
+
+def test_list_experiments(capsys):
+    rc, out = run_cli(capsys, "list", "experiments")
+    assert rc == 0
+    for eid in ("fig1", "fig7", "table4", "hostrate"):
+        assert eid in out
+
+
+def test_kernel_command(capsys):
+    rc, out = run_cli(capsys, "kernel", "EI", "--config", "Rocket1",
+                      "--scale", "0.05")
+    assert rc == 0
+    assert "EI on Rocket1" in out
+    assert "CPI" in out
+
+
+def test_compare_command(capsys):
+    rc, out = run_cli(capsys, "compare", "EI", "--scale", "0.05")
+    assert rc == 0
+    assert "relative speedup" in out
+
+
+def test_npb_command(capsys):
+    rc, out = run_cli(capsys, "npb", "EP", "--cls", "S", "--ranks", "2")
+    assert rc == 0
+    assert "EP.S" in out and "OK" in out
+
+
+def test_experiment_table4(capsys, tmp_path):
+    out_file = tmp_path / "t4.txt"
+    rc, out = run_cli(capsys, "experiment", "table4", "--out", str(out_file))
+    assert rc == 0
+    assert "Rocket1" in out
+    assert "Rocket1" in out_file.read_text()
+
+
+def test_unknown_config_errors():
+    with pytest.raises(KeyError):
+        main(["kernel", "EI", "--config", "Rocket9"])
+
+
+def test_parser_rejects_unknown_experiment(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])

@@ -1,0 +1,74 @@
+"""Tests for the perf-stat reports and the measurement-error analysis."""
+
+import pytest
+
+from repro.analysis.error import noise_floor, seed_variation, significant
+from repro.analysis.perf import perf_stat
+from repro.soc import MILKV_SIM, ROCKET1
+from repro.workloads.microbench import get_kernel
+
+SCALE = 0.08
+
+
+def test_perf_stat_counters_consistent():
+    t = get_kernel("ML2").build(scale=SCALE)
+    rep = perf_stat(ROCKET1, t)
+    assert rep.instructions == len(t)
+    assert rep.cycles > 0
+    assert 0 < rep.ipc <= 2
+    assert rep.l1d_loads_misses > 0          # L2-resident chase misses L1
+    assert rep.l2_accesses >= rep.l1d_loads_misses
+    assert rep.branches > 0
+
+
+def test_perf_stat_warm_vs_cold():
+    t = get_kernel("MD").build(scale=SCALE)
+    warm = perf_stat(ROCKET1, t, warmup=True)
+    cold = perf_stat(ROCKET1, t, warmup=False)
+    assert warm.cycles < cold.cycles
+    assert warm.dram_reads <= cold.dram_reads
+
+
+def test_perf_stat_llc_counters_on_milkv():
+    t = get_kernel("MIP").build(scale=0.7)
+    rep = perf_stat(MILKV_SIM, t)
+    assert rep.llc_accesses > 0  # I-misses stream through the LLC
+
+
+def test_perf_render():
+    t = get_kernel("EI").build(scale=SCALE)
+    out = perf_stat(ROCKET1, t).render()
+    assert "Performance counter stats" in out
+    assert "IPC" in out
+    assert "DRAM row-hit rate" in out
+
+
+def test_seed_variation_bounds():
+    v = seed_variation(ROCKET1, "CCh", seeds=3, scale=SCALE)
+    assert len(v.cycles) == 3
+    assert v.spread >= 1.0
+    assert 0 <= v.cv < 0.5  # random branches vary a little, not wildly
+
+
+def test_deterministic_kernel_has_no_variation():
+    v = seed_variation(ROCKET1, "EI", seeds=3, scale=SCALE)
+    assert v.spread == 1.0  # EI's trace is seed-independent
+    assert v.cv == 0.0
+
+
+def test_noise_floor_and_significance():
+    floor = noise_floor(ROCKET1, ["EI", "CCh"], seeds=3, scale=SCALE)
+    assert set(floor) == {"EI", "CCh"}
+    # a 2x difference is significant against any small noise floor
+    assert significant(1.0, 2.0, floor["EI"])
+    # a difference inside the seed spread is not
+    eps = floor["CCh"].spread ** 0.5
+    assert not significant(1.0, min(eps, 1.0001), floor["CCh"])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        seed_variation(ROCKET1, "EI", seeds=1)
+    v = seed_variation(ROCKET1, "EI", seeds=2, scale=SCALE)
+    with pytest.raises(ValueError):
+        significant(-1.0, 1.0, v)

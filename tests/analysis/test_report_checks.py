@@ -1,0 +1,71 @@
+"""Unit tests for the fig-1/fig-2 paper-claim checkers (synthetic data)."""
+
+from repro.analysis.report import fig1_checks, fig2_checks
+from repro.analysis.speedup import SeriesResult
+
+CATS = {
+    "Control Flow": ["Cca", "CCh"],
+    "Data": ["DP1d"],
+    "Execution": ["EI"],
+    "Cache": ["MD", "MC", "MIP"],
+    "Memory": ["MM"],
+}
+LABELS = ["Cca", "CCh", "DP1d", "EI", "MD", "MC", "MIP", "MM"]
+
+
+def series(vals):
+    return dict(zip(LABELS, vals))
+
+
+def make_fig1(slow, fast):
+    return SeriesResult(
+        experiment="fig1",
+        labels=LABELS,
+        series={
+            "BananaPiSim": [slow[l] for l in LABELS],
+            "FastBananaPiSim": [fast[l] for l in LABELS],
+        },
+        meta={"categories": CATS},
+    )
+
+
+def test_fig1_checks_all_pass_on_paper_shape():
+    slow = series([0.7, 0.7, 0.8, 0.65, 0.7, 0.6, 0.7, 0.36])
+    fast = series([1.3, 1.2, 1.5, 1.3, 1.3, 1.2, 1.4, 0.25])
+    checks = fig1_checks(make_fig1(slow, fast))
+    assert all(checks.values()), checks
+
+
+def test_fig1_checks_catch_wrong_shapes():
+    # simulation faster than hardware on compute: must fail
+    slow = series([1.2, 1.2, 1.2, 1.2, 0.7, 0.6, 0.7, 0.4])
+    fast = series([1.3, 1.2, 1.5, 1.3, 1.3, 1.2, 1.4, 0.3])
+    checks = fig1_checks(make_fig1(slow, fast))
+    assert not checks["cf_data_exec_below_one"]
+
+
+def make_fig2(milkv, stock_scale=0.8):
+    base = {
+        "SmallBOOM": [v * stock_scale * 0.6 for v in milkv.values()],
+        "MediumBOOM": [v * stock_scale * 0.8 for v in milkv.values()],
+        "LargeBOOM": [v * stock_scale for v in milkv.values()],
+        "MILKVSim": list(milkv.values()),
+    }
+    return SeriesResult(experiment="fig2", labels=LABELS, series=base,
+                        meta={"categories": CATS})
+
+
+def test_fig2_checks_pass_on_paper_shape():
+    milkv = series([0.9, 0.8, 0.95, 0.85, 0.9, 0.6, 1.4, 0.35])
+    checks = fig2_checks(make_fig2(milkv))
+    assert checks["memory_below_one"]
+    assert checks["mip_above_one"]
+    assert checks["conflict_below_one"]
+    assert checks["execution_below_one"]
+    assert checks["large_boom_best_stock"]
+
+
+def test_fig2_checks_catch_missing_mip_anomaly():
+    milkv = series([0.9, 0.8, 0.95, 0.85, 0.9, 0.6, 0.7, 0.35])
+    checks = fig2_checks(make_fig2(milkv))
+    assert not checks["mip_above_one"]

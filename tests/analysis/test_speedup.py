@@ -1,0 +1,102 @@
+"""Tests for the relative-speedup metric, series containers, and reports."""
+
+import math
+
+import pytest
+
+from repro.analysis.speedup import SeriesResult, relative_speedup, summarize_by_category
+from repro.analysis.report import render_series, render_table
+from repro.analysis.data import (
+    PAPER_LAMMPS_LJ_RUNTIMES,
+    PAPER_UME_RUNTIMES,
+    paper_relative_speedup,
+)
+
+
+def test_relative_speedup_definition():
+    # paper: 1.2 means the simulation runs 20% faster than hardware
+    assert relative_speedup(1.2, 1.0) == pytest.approx(1.2)
+    assert relative_speedup(0.5, 1.0) == pytest.approx(0.5)
+    assert relative_speedup(1.0, 1.0) == 1.0
+
+
+def test_relative_speedup_validates():
+    with pytest.raises(ValueError):
+        relative_speedup(0.0, 1.0)
+    with pytest.raises(ValueError):
+        relative_speedup(1.0, -1.0)
+
+
+def make_series():
+    return SeriesResult(
+        experiment="t",
+        labels=["a", "b", "c", "d"],
+        series={"s1": [0.5, 1.0, 2.0, 1.0], "s2": [1.0, 1.0, 1.0, 4.0]},
+        meta={"categories": {"x": ["a", "b"], "y": ["c", "d"]}},
+    )
+
+
+def test_series_value_and_geomean():
+    r = make_series()
+    assert r.value("s1", "c") == 2.0
+    assert r.geomean("s1") == pytest.approx(1.0)
+    assert r.geomean("s2") == pytest.approx(4 ** 0.25)
+
+
+def test_series_subset():
+    r = make_series().subset(["a", "c"])
+    assert r.labels == ["a", "c"]
+    assert r.series["s1"] == [0.5, 2.0]
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        SeriesResult("t", ["a"], {"s": [1.0, 2.0]})
+
+
+def test_summarize_by_category():
+    r = make_series()
+    s = summarize_by_category(r, r.meta["categories"])
+    assert s["s1"]["x"] == pytest.approx(math.sqrt(0.5))
+    assert s["s1"]["y"] == pytest.approx(math.sqrt(2.0))
+    assert s["s2"]["y"] == pytest.approx(2.0)
+
+
+def test_paper_reference_tables():
+    # paper §5.3: UME on Banana Pi ~0.73 s vs sim 1.0 s at 1 rank
+    rel = paper_relative_speedup(PAPER_UME_RUNTIMES, "BananaPi", "BananaPiSim", 1)
+    assert rel == pytest.approx(0.73)
+    # LAMMPS LJ 1-rank: 13 s hw vs 55 s sim
+    rel = paper_relative_speedup(PAPER_LAMMPS_LJ_RUNTIMES, "BananaPi",
+                                 "BananaPiSim", 1)
+    assert rel == pytest.approx(13 / 55)
+    # every paper pair is below 1.0 (simulation always slower)
+    for table in (PAPER_UME_RUNTIMES, PAPER_LAMMPS_LJ_RUNTIMES):
+        for hw, sim in (("BananaPi", "BananaPiSim"), ("MILKV", "MILKVSim")):
+            for nr in (1, 2, 4):
+                assert paper_relative_speedup(table, hw, sim, nr) < 1.0
+
+
+def test_render_table():
+    out = render_table([{"A": 1.23456, "B": "x"}, {"A": 2.0, "B": "yy"}],
+                       title="T")
+    assert "T" in out
+    assert "1.235" in out
+    assert "yy" in out
+
+
+def test_render_table_empty():
+    assert "(empty)" in render_table([], title="E")
+
+
+def test_render_series_marks_target():
+    out = render_series(make_series())
+    assert "relative speedup" in out
+    assert "|" in out
+    assert "s1" in out and "s2" in out
+
+
+def test_render_series_handles_nan():
+    r = SeriesResult("t", ["a"], {"s": [float("nan")]})
+    out = render_series(r)
+    assert "-" in out

@@ -1,0 +1,86 @@
+"""Shared fixtures for core-model tests: small hierarchies and trace helpers."""
+
+import numpy as np
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceBuilder
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import HierarchyConfig, TilePort, Uncore
+
+
+@pytest.fixture
+def tile_port():
+    """A small single-tile hierarchy with fast, deterministic parameters."""
+    cfg = HierarchyConfig(
+        l1i=CacheConfig(sets=64, ways=4, hit_latency=1),
+        l1d=CacheConfig(sets=64, ways=4, hit_latency=2, mshrs=4),
+        l2=CacheConfig(sets=512, ways=8, hit_latency=12, mshrs=8),
+        core_ghz=1.6,
+    )
+    return TilePort(Uncore(cfg), tile_id=0)
+
+
+def make_port():
+    cfg = HierarchyConfig(core_ghz=1.6)
+    return TilePort(Uncore(cfg), tile_id=0)
+
+
+def loop_pcs(trace, body_instrs=64, base=0x1_0000):
+    """Rewrite the PC stream so the code loops over a small body, the way
+    real benchmark kernels do (trace generators emit monotonic PCs)."""
+    n = len(trace)
+    trace.pc[:] = base + (np.arange(n, dtype=np.uint64) % body_instrs) * 4
+    return trace
+
+
+def alu_stream(n, dependent=False):
+    """n integer ALU ops in a loop; chained through r5 when dependent."""
+    b = TraceBuilder()
+    if dependent:
+        for _ in range(n):
+            b.alu(5, 5, 5)
+    else:
+        for i in range(n):
+            b.alu(5 + (i % 8), 20, 21)
+    return loop_pcs(b.build())
+
+
+def load_stream(n, stride=64, base=0x10_0000, dst_rotate=8):
+    """n loads at the given stride (independent), loop-shaped code."""
+    b = TraceBuilder()
+    for i in range(n):
+        b.load(5 + (i % dst_rotate), base + i * stride)
+    return loop_pcs(b.build())
+
+
+def pointer_chase(n, footprint_bytes, seed=3, base=0x20_0000):
+    """n dependent loads over a random cycle within footprint_bytes."""
+    rng = np.random.default_rng(seed)
+    nlines = max(2, footprint_bytes // 64)
+    perm = rng.permutation(nlines)
+    b = TraceBuilder()
+    idx = 0
+    for i in range(n):
+        addr = base + int(perm[idx % nlines]) * 64
+        b.load(5, addr, base=5)
+        idx += 1
+    return loop_pcs(b.build())
+
+
+def branch_stream(n, pattern="biased", seed=0):
+    """ALU+branch loop; each dynamic branch reuses the same static PC."""
+    rng = np.random.default_rng(seed)
+    b = TraceBuilder()
+    loop_top = b.pc
+    for i in range(n):
+        b.pc = loop_top
+        b.alu(6, 6, 7)
+        if pattern == "biased":
+            taken = True
+        elif pattern == "alternating":
+            taken = bool(i % 2)
+        else:
+            taken = bool(rng.integers(0, 2))
+        b.branch(taken, src1=6, target=loop_top)
+    return b.build()

@@ -1,0 +1,148 @@
+"""Behavioural tests of the in-order (Rocket-like) core model."""
+
+import pytest
+
+from repro.core.inorder import InOrderConfig, InOrderCore
+from repro.isa.trace import TraceBuilder
+
+from .conftest import alu_stream, branch_stream, load_stream, make_port, pointer_chase
+
+
+def run(trace, cfg=None, port=None):
+    core = InOrderCore(cfg or InOrderConfig(), port or make_port())
+    return core.run(trace)
+
+
+def test_single_issue_alu_ipc_near_one():
+    r = run(alu_stream(4000))
+    assert 0.9 < r.ipc <= 1.0
+
+
+def test_dependent_chain_same_as_independent_single_issue():
+    # with full bypass, 1-cycle ALU chains still sustain 1 IPC single-issue
+    r_ind = run(alu_stream(2000, dependent=False))
+    r_dep = run(alu_stream(2000, dependent=True))
+    assert abs(r_ind.cycles - r_dep.cycles) < 50
+
+
+def test_dual_issue_doubles_independent_alu():
+    # warm the I-cache first so the steady-state rate is measured
+    cfg2 = InOrderConfig(issue_width=2, pipeline_depth=8)
+    t = alu_stream(4000)
+    c1 = InOrderCore(InOrderConfig(), make_port())
+    c2 = InOrderCore(cfg2, make_port())
+    c1.run(t); c2.run(t)
+    r1, r2 = c1.run(t), c2.run(t)
+    assert r2.ipc > 1.8
+    assert r1.cycles / r2.cycles > 1.8
+
+
+def test_dual_issue_no_gain_on_dependent_chain():
+    cfg2 = InOrderConfig(issue_width=2)
+    r = run(alu_stream(2000, dependent=True), cfg=cfg2)
+    assert r.ipc < 1.1
+
+
+def test_div_latency_and_structural_hazard():
+    b = TraceBuilder()
+    for _ in range(100):
+        b.div(5, 6, 7)
+    r = run(b.build())
+    # unpipelined 16-cycle divider: ~16 cycles per div
+    assert r.cpi > 10
+
+
+def test_l1_hit_loads_fast():
+    port = make_port()
+    trace = load_stream(2000, stride=8)  # 16 KiB footprint, fits L1
+    core = InOrderCore(InOrderConfig(), port)
+    core.run(trace)  # warm
+    r = core.run(trace)
+    assert r.cpi < 2.5
+
+
+def test_dram_bound_pointer_chase_slow():
+    port = make_port()
+    trace = pointer_chase(300, footprint_bytes=64 << 20)  # 64 MiB, misses everywhere
+    r = InOrderCore(InOrderConfig(), port).run(trace)
+    # every load is a dependent DRAM miss: CPI ~ DRAM latency
+    assert r.cpi > 40
+
+
+def test_cache_resident_chase_much_faster_than_dram():
+    small = pointer_chase(300, footprint_bytes=8 << 10)
+    big = pointer_chase(300, footprint_bytes=64 << 20)
+    r_small = InOrderCore(InOrderConfig(), make_port()).run(small)
+    r_big = InOrderCore(InOrderConfig(), make_port()).run(big)
+    assert r_big.cycles > 3 * r_small.cycles
+
+
+def test_mispredict_penalty_visible():
+    r_biased = run(branch_stream(2000, "biased"))
+    r_random = run(branch_stream(2000, "random"))
+    assert r_random.cycles > r_biased.cycles * 1.3
+    assert r_random.mispredicts > 700
+
+
+def test_deeper_pipeline_pays_more_per_mispredict():
+    t = branch_stream(2000, "random")
+    r5 = run(t, cfg=InOrderConfig(pipeline_depth=5))
+    r8 = run(t, cfg=InOrderConfig(pipeline_depth=8))
+    assert r8.cycles > r5.cycles
+
+
+def test_store_buffer_hides_store_latency():
+    from .conftest import loop_pcs
+
+    b = TraceBuilder()
+    for i in range(500):
+        b.store(7, 0x50_0000 + (i % 16) * 8)
+        b.alu(5, 5, 6)
+    r = run(loop_pcs(b.build()))
+    assert r.cpi < 2.0
+
+
+def test_store_buffer_full_stalls():
+    # back-to-back stores to distinct DRAM lines overwhelm a tiny buffer
+    b = TraceBuilder()
+    for i in range(300):
+        b.store(7, 0x50_0000 + i * 4096)
+    r_small = run(b.build(), cfg=InOrderConfig(store_buffer=1))
+    r_big = run(b.build(), cfg=InOrderConfig(store_buffer=16))
+    assert r_small.cycles > r_big.cycles
+
+
+def test_icache_misses_stall_frontend():
+    # jump across many distinct 64-byte lines spanning > L1I capacity
+    b = TraceBuilder()
+    for i in range(2000):
+        b.jump(target=((i * 131) % 4096) * 64 + 0x40_0000)
+    r = run(b.build())
+    assert r.l1i_misses > 100
+    assert r.stalls["frontend"] > 0
+
+
+def test_result_counters_consistent():
+    t = alu_stream(1000)
+    r = run(t)
+    assert r.instructions == 1000
+    assert r.cycles > 0
+    assert r.ipc == pytest.approx(1000 / r.cycles)
+
+
+def test_stateful_across_runs():
+    """Caches stay warm across run() calls on the same core."""
+    port = make_port()
+    core = InOrderCore(InOrderConfig(), port)
+    t = load_stream(500, stride=64)
+    r1 = core.run(t)
+    r2 = core.run(t)
+    assert r2.cycles < r1.cycles
+    assert r2.l1d_misses == 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        InOrderConfig(issue_width=0)
+    with pytest.raises(ValueError):
+        InOrderConfig(pipeline_depth=2)

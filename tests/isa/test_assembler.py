@@ -1,0 +1,137 @@
+"""Assembler tests: labels, pseudo-ops, operands, and error paths."""
+
+import pytest
+
+from repro.isa import Interpreter, assemble, decode
+from repro.isa.assembler import FREG_NAMES, REG_NAMES, AssemblerError
+
+
+def test_abi_register_names_complete():
+    assert REG_NAMES["zero"] == 0
+    assert REG_NAMES["ra"] == 1
+    assert REG_NAMES["sp"] == 2
+    assert REG_NAMES["t0"] == 5
+    assert REG_NAMES["t3"] == 28
+    assert REG_NAMES["s0"] == 8
+    assert REG_NAMES["s11"] == 27
+    assert REG_NAMES["a7"] == 17
+    assert FREG_NAMES["ft0"] == 0
+    assert FREG_NAMES["ft8"] == 28
+    assert FREG_NAMES["fs0"] == 8
+    assert FREG_NAMES["fa7"] == 17
+
+
+def test_labels_forward_and_backward():
+    words = assemble(
+        """
+        start:
+            addi a0, x0, 1
+            beqz a0, start      # backward
+            bnez a0, end        # forward
+            addi a0, a0, 100
+        end:
+            addi a0, a0, 10
+        """
+    )
+    interp = Interpreter(words)
+    interp.run()
+    assert interp.reg("a0") == 11  # skipped the +100
+
+
+def test_label_on_its_own_line_and_inline():
+    w1 = assemble("loop:\n  j loop")
+    w2 = assemble("loop: j loop")
+    assert w1 == w2
+
+
+def test_comments_both_styles():
+    words = assemble("addi a0, x0, 1  # hash comment\naddi a1, x0, 2 ; semi")
+    assert len(words) == 2
+
+
+def test_li_expansion():
+    assert len(assemble("li a0, 100")) == 1      # fits addi
+    assert len(assemble("li a0, 100000")) == 2   # lui + addi
+    interp = Interpreter(assemble("li a0, 123456\nli a1, -98765"))
+    interp.run()
+    assert interp.reg("a0") == 123456
+    assert interp.reg("a1") == -98765
+
+
+@pytest.mark.parametrize("pseudo,check", [
+    ("mv a0, a1", "addi"),
+    ("nop", "addi"),
+    ("neg a0, a1", "sub"),
+    ("not a0, a1", "xori"),
+    ("seqz a0, a1", "sltiu"),
+    ("snez a0, a1", "sltu"),
+    ("fmv.d fa0, fa1", "fsgnj.d"),
+    ("fneg.d fa0, fa1", "fsgnjn.d"),
+    ("fabs.d fa0, fa1", "fsgnjx.d"),
+])
+def test_pseudo_lowering(pseudo, check):
+    words = assemble(pseudo)
+    assert decode(words[0]).mnemonic == check
+
+
+def test_pseudo_semantics():
+    interp = Interpreter(assemble(
+        """
+        li a1, -7
+        neg a2, a1
+        not a3, x0
+        seqz a4, x0
+        snez a5, a1
+        """
+    ))
+    interp.run()
+    assert interp.reg("a2") == 7
+    assert interp.reg("a3") == -1
+    assert interp.reg("a4") == 1
+    assert interp.reg("a5") == 1
+
+
+def test_memory_operand_spacing_tolerated():
+    w1 = assemble("ld a0, 8(sp)")
+    w2 = assemble("ld a0, 8( sp )")
+    assert w1 == w2
+
+
+def test_error_unknown_mnemonic():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frobnicate a0, a1")
+
+
+def test_error_unknown_register():
+    with pytest.raises(AssemblerError, match="unknown register"):
+        assemble("add a0, a1, q7")
+
+
+def test_error_unknown_label():
+    with pytest.raises(AssemblerError, match="unknown label"):
+        assemble("j nowhere")
+
+
+def test_error_duplicate_label():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("x: nop\nx: nop")
+
+
+def test_error_bad_memory_operand():
+    with pytest.raises(AssemblerError, match="memory operand"):
+        assemble("ld a0, [sp+8]")
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblerError, match="line 3"):
+        assemble("nop\nnop\nbadop a0")
+
+
+def test_error_li_out_of_range():
+    with pytest.raises(AssemblerError):
+        assemble("li a0, 99999999999999")
+
+
+def test_fp_register_in_integer_slot_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("add fa0, a1, a2")

@@ -1,0 +1,126 @@
+"""Encode/decode round-trip and spot checks against known RV64 encodings."""
+
+import pytest
+
+from repro.isa.encoding import DecodeError, Instr, decode, encode
+from repro.isa.opcodes import OpClass
+
+
+# Known-good words cross-checked against the RISC-V spec examples.
+KNOWN = [
+    (Instr("add", rd=1, rs1=2, rs2=3), 0x003100B3),
+    (Instr("addi", rd=1, rs1=2, imm=-1), 0xFFF10093),
+    (Instr("lw", rd=5, rs1=10, imm=16), 0x01052283),
+    (Instr("sd", rs1=2, rs2=8, imm=8), 0x00813423),
+    (Instr("beq", rs1=1, rs2=2, imm=-4), 0xFE208EE3),
+    (Instr("jal", rd=1, imm=2048), 0x001000EF),
+    (Instr("lui", rd=7, imm=0x12345), 0x123453B7),
+    (Instr("mul", rd=4, rs1=5, rs2=6), 0x02628233),
+]
+
+
+@pytest.mark.parametrize("ins,word", KNOWN)
+def test_known_encodings(ins, word):
+    assert encode(ins) == word
+
+
+@pytest.mark.parametrize("ins,word", KNOWN)
+def test_known_decodings(ins, word):
+    assert decode(word) == ins
+
+
+ALL_R = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+         "addw", "subw", "sllw", "srlw", "sraw", "mul", "mulh", "mulhsu",
+         "mulhu", "div", "divu", "rem", "remu", "mulw", "divw", "divuw",
+         "remw", "remuw"]
+
+
+@pytest.mark.parametrize("mnem", ALL_R)
+def test_rtype_roundtrip(mnem):
+    ins = Instr(mnem, rd=3, rs1=17, rs2=29)
+    assert decode(encode(ins)) == ins
+
+
+@pytest.mark.parametrize("mnem", ["addi", "slti", "sltiu", "xori", "ori",
+                                  "andi", "addiw"])
+@pytest.mark.parametrize("imm", [-2048, -1, 0, 1, 2047])
+def test_itype_roundtrip(mnem, imm):
+    ins = Instr(mnem, rd=1, rs1=2, imm=imm)
+    assert decode(encode(ins)) == ins
+
+
+@pytest.mark.parametrize("mnem,maxsh", [("slli", 63), ("srli", 63),
+                                        ("srai", 63), ("slliw", 31),
+                                        ("srliw", 31), ("sraiw", 31)])
+def test_shift_roundtrip(mnem, maxsh):
+    for sh in (0, 1, maxsh):
+        ins = Instr(mnem, rd=4, rs1=9, imm=sh)
+        assert decode(encode(ins)) == ins
+
+
+@pytest.mark.parametrize("mnem", ["lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"])
+def test_load_roundtrip(mnem):
+    ins = Instr(mnem, rd=6, rs1=11, imm=-128)
+    assert decode(encode(ins)) == ins
+
+
+@pytest.mark.parametrize("mnem", ["sb", "sh", "sw", "sd"])
+def test_store_roundtrip(mnem):
+    ins = Instr(mnem, rs1=12, rs2=13, imm=257)
+    assert decode(encode(ins)) == ins
+
+
+@pytest.mark.parametrize("mnem", ["beq", "bne", "blt", "bge", "bltu", "bgeu"])
+@pytest.mark.parametrize("imm", [-4096, -2, 0, 2, 4094])
+def test_branch_roundtrip(mnem, imm):
+    ins = Instr(mnem, rs1=1, rs2=31, imm=imm)
+    assert decode(encode(ins)) == ins
+
+
+@pytest.mark.parametrize("imm", [-(1 << 20), -2, 0, 2, (1 << 20) - 2])
+def test_jal_roundtrip(imm):
+    ins = Instr("jal", rd=1, imm=imm)
+    assert decode(encode(ins)) == ins
+
+
+def test_misaligned_branch_rejected():
+    with pytest.raises(DecodeError):
+        encode(Instr("beq", rs1=0, rs2=0, imm=3))
+
+
+def test_out_of_range_imm_rejected():
+    with pytest.raises(DecodeError):
+        encode(Instr("addi", rd=1, rs1=1, imm=5000))
+
+
+def test_bad_register_rejected():
+    with pytest.raises(DecodeError):
+        Instr("add", rd=32)
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(DecodeError):
+        Instr("vadd")
+
+
+def test_decode_garbage_raises():
+    with pytest.raises(DecodeError):
+        decode(0xFFFFFFFF)
+
+
+def test_op_classes():
+    assert Instr("lw", rd=1, rs1=2).op_class == OpClass.LOAD
+    assert Instr("sd", rs1=2, rs2=3).op_class == OpClass.STORE
+    assert Instr("mul", rd=1, rs1=2, rs2=3).op_class == OpClass.INT_MUL
+    assert Instr("div", rd=1, rs1=2, rs2=3).op_class == OpClass.INT_DIV
+    assert Instr("beq", rs1=1, rs2=2).op_class == OpClass.BRANCH
+    assert Instr("jal", rd=0, imm=8).op_class == OpClass.JUMP
+    assert Instr("jal", rd=1, imm=8).op_class == OpClass.CALL
+    assert Instr("jalr", rd=0, rs1=1).op_class == OpClass.RET
+    assert Instr("jalr", rd=1, rs1=5).op_class == OpClass.CALL
+    assert Instr("ecall").op_class == OpClass.CSR
+
+
+def test_str_smoke():
+    assert "add x1, x2, x3" == str(Instr("add", rd=1, rs1=2, rs2=3))
+    assert "lw x5, 16(x10)" == str(Instr("lw", rd=5, rs1=10, imm=16))

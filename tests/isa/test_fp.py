@@ -1,0 +1,267 @@
+"""Tests for the F/D floating-point extension: encoding roundtrips,
+IEEE semantics, NaN handling, and trace emission."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.isa import Interpreter, OpClass, assemble
+from repro.isa.encoding import Instr, decode, encode
+from repro.isa.trace import FP_REG_BASE
+
+
+def run(src):
+    interp = Interpreter(assemble(src))
+    trace = interp.run()
+    return interp, trace
+
+
+# ------------------------------------------------------------ encoding
+
+FP_INSTRS = [
+    Instr("fld", rd=1, rs1=10, imm=16),
+    Instr("flw", rd=1, rs1=10, imm=-4),
+    Instr("fsd", rs1=10, rs2=2, imm=-8),
+    Instr("fsw", rs1=10, rs2=2, imm=0),
+    Instr("fadd.d", rd=3, rs1=4, rs2=5),
+    Instr("fsub.d", rd=3, rs1=4, rs2=5),
+    Instr("fmul.d", rd=3, rs1=4, rs2=5),
+    Instr("fdiv.d", rd=3, rs1=4, rs2=5),
+    Instr("fsqrt.d", rd=3, rs1=4),
+    Instr("fmin.d", rd=1, rs1=2, rs2=3),
+    Instr("fmax.d", rd=1, rs1=2, rs2=3),
+    Instr("fsgnj.d", rd=1, rs1=2, rs2=3),
+    Instr("fsgnjn.d", rd=1, rs1=2, rs2=3),
+    Instr("fsgnjx.d", rd=1, rs1=2, rs2=3),
+    Instr("feq.d", rd=7, rs1=2, rs2=3),
+    Instr("flt.d", rd=7, rs1=2, rs2=3),
+    Instr("fle.d", rd=7, rs1=2, rs2=3),
+    Instr("fcvt.w.d", rd=7, rs1=2),
+    Instr("fcvt.l.d", rd=7, rs1=2),
+    Instr("fcvt.d.w", rd=7, rs1=2),
+    Instr("fcvt.d.l", rd=7, rs1=2),
+    Instr("fcvt.s.d", rd=7, rs1=2),
+    Instr("fcvt.d.s", rd=7, rs1=2),
+    Instr("fmv.x.d", rd=7, rs1=2),
+    Instr("fmv.d.x", rd=7, rs1=2),
+    Instr("fadd.s", rd=3, rs1=4, rs2=5),
+    Instr("fmadd.d", rd=1, rs1=2, rs2=3, rs3=4),
+    Instr("fmsub.d", rd=1, rs1=2, rs2=3, rs3=4),
+    Instr("fnmsub.d", rd=1, rs1=2, rs2=3, rs3=4),
+    Instr("fnmadd.d", rd=1, rs1=2, rs2=3, rs3=4),
+]
+
+
+@pytest.mark.parametrize("ins", FP_INSTRS, ids=lambda i: str(i))
+def test_fp_roundtrip(ins):
+    assert decode(encode(ins)) == ins
+
+
+def test_known_fp_encodings():
+    # cross-checked with riscv-gnu-toolchain output
+    assert encode(Instr("fld", rd=1, rs1=10, imm=16)) == 0x01053087
+    assert encode(Instr("fadd.d", rd=3, rs1=4, rs2=5)) == 0x025201D3
+
+
+def test_fp_op_classes():
+    assert Instr("fadd.d", rd=1, rs1=2, rs2=3).op_class == OpClass.FP_ADD
+    assert Instr("fmul.d", rd=1, rs1=2, rs2=3).op_class == OpClass.FP_MUL
+    assert Instr("fdiv.d", rd=1, rs1=2, rs2=3).op_class == OpClass.FP_DIV
+    assert Instr("fsqrt.d", rd=1, rs1=2).op_class == OpClass.FP_SQRT
+    assert Instr("fmadd.d", rd=1, rs1=2, rs2=3, rs3=4).op_class == OpClass.FP_FMA
+    assert Instr("fcvt.w.d", rd=1, rs1=2).op_class == OpClass.FP_CVT
+    assert Instr("fsgnj.d", rd=1, rs1=2, rs2=3).op_class == OpClass.FP_MOV
+    assert Instr("fld", rd=1, rs1=2).op_class == OpClass.LOAD
+    assert Instr("fsd", rs1=2, rs2=3).op_class == OpClass.STORE
+
+
+# ------------------------------------------------------------ semantics
+
+def test_basic_double_arithmetic():
+    interp, _ = run("""
+        li t0, 7
+        fcvt.d.l fa0, t0
+        li t0, 2
+        fcvt.d.l fa1, t0
+        fadd.d fa2, fa0, fa1
+        fsub.d fa3, fa0, fa1
+        fmul.d fa4, fa0, fa1
+        fdiv.d fa5, fa0, fa1
+    """)
+    assert interp.freg("fa2") == 9.0
+    assert interp.freg("fa3") == 5.0
+    assert interp.freg("fa4") == 14.0
+    assert interp.freg("fa5") == 3.5
+
+
+def test_division_by_zero_gives_inf():
+    interp, _ = run("""
+        li t0, 1
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, x0
+        fdiv.d fa2, fa0, fa1
+        fdiv.d fa3, fa1, fa1
+    """)
+    assert math.isinf(interp.freg("fa2"))
+    assert math.isnan(interp.freg("fa3"))
+
+
+def test_sqrt_of_negative_is_nan():
+    interp, _ = run("""
+        li t0, -4
+        fcvt.d.l fa0, t0
+        fsqrt.d fa1, fa0
+    """)
+    assert math.isnan(interp.freg("fa1"))
+
+
+def test_comparisons_with_nan_are_false():
+    interp, _ = run("""
+        li t0, 1
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, x0
+        fdiv.d fa2, fa1, fa1      # NaN
+        feq.d t1, fa2, fa2
+        flt.d t2, fa2, fa0
+        fle.d t3, fa0, fa0
+    """)
+    assert interp.reg("t1") == 0
+    assert interp.reg("t2") == 0
+    assert interp.reg("t3") == 1
+
+
+def test_min_max_nan_returns_other():
+    interp, _ = run("""
+        li t0, 5
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, x0
+        fdiv.d fa2, fa1, fa1      # NaN
+        fmin.d fa3, fa2, fa0
+        fmax.d fa4, fa0, fa2
+    """)
+    assert interp.freg("fa3") == 5.0
+    assert interp.freg("fa4") == 5.0
+
+
+def test_memory_roundtrip_single_and_double():
+    interp, _ = run("""
+        li a0, 0x2000
+        li t0, 3
+        fcvt.d.l fa0, t0
+        fsd fa0, 0(a0)
+        fld fa1, 0(a0)
+        fcvt.s.d fa2, fa0
+        fsw fa2, 8(a0)
+        flw fa3, 8(a0)
+    """)
+    assert interp.freg("fa1") == 3.0
+    assert interp.freg("fa3") == 3.0
+
+
+def test_single_precision_rounds():
+    interp, _ = run("""
+        li t0, 16777217          # 2^24 + 1: not representable in f32
+        fcvt.d.l fa0, t0
+        fcvt.s.d fa1, fa0
+    """)
+    assert interp.freg("fa0") == 16777217.0
+    assert interp.freg("fa1") == 16777216.0  # rounded
+
+
+def test_fmv_bit_pattern():
+    interp, _ = run("""
+        li t0, 1
+        fcvt.d.l fa0, t0
+        fmv.x.d t1, fa0
+        fmv.d.x fa1, t1
+    """)
+    assert interp.reg("t1") == struct.unpack("<q", struct.pack("<d", 1.0))[0]
+    assert interp.freg("fa1") == 1.0
+
+
+def test_fcvt_truncates_toward_zero():
+    interp, _ = run("""
+        li t0, 7
+        fcvt.d.l fa0, t0
+        li t0, 2
+        fcvt.d.l fa1, t0
+        fdiv.d fa2, fa0, fa1      # 3.5
+        fcvt.l.d t1, fa2
+        fneg.d fa3, fa2
+        fcvt.l.d t2, fa3
+    """)
+    assert interp.reg("t1") == 3
+    assert interp.reg("t2") == -3
+
+
+def test_fma_variants():
+    interp, _ = run("""
+        li t0, 2
+        fcvt.d.l fa0, t0
+        li t0, 3
+        fcvt.d.l fa1, t0
+        li t0, 10
+        fcvt.d.l fa2, t0
+        fmadd.d fa3, fa0, fa1, fa2    # 2*3+10 = 16
+        fmsub.d fa4, fa0, fa1, fa2    # 2*3-10 = -4
+        fnmsub.d fa5, fa0, fa1, fa2   # -(2*3)+10 = 4
+        fnmadd.d fa6, fa0, fa1, fa2   # -(2*3)-10 = -16
+    """)
+    assert interp.freg("fa3") == 16.0
+    assert interp.freg("fa4") == -4.0
+    assert interp.freg("fa5") == 4.0
+    assert interp.freg("fa6") == -16.0
+
+
+def test_dot_product_program():
+    """A real FP kernel: dot product of two 8-element vectors in memory."""
+    setup = []
+    a = [1.5, -2.0, 3.25, 0.5, 4.0, -1.25, 2.0, 0.75]
+    b = [2.0, 1.0, -1.0, 4.0, 0.5, 2.5, -3.0, 8.0]
+    expected = sum(x * y for x, y in zip(a, b))
+    prog = """
+        li a0, 0x3000
+        li a1, 0x3100
+        li a2, 8
+        fcvt.d.l fa0, x0          # acc = 0
+    loop:
+        fld fa1, 0(a0)
+        fld fa2, 0(a1)
+        fmadd.d fa0, fa1, fa2, fa0
+        addi a0, a0, 8
+        addi a1, a1, 8
+        addi a2, a2, -1
+        bnez a2, loop
+        ecall
+    """
+    interp = Interpreter(assemble(prog))
+    for i, (x, y) in enumerate(zip(a, b)):
+        interp.mem.store(0x3000 + 8 * i,
+                         struct.unpack("<Q", struct.pack("<d", x))[0], 8)
+        interp.mem.store(0x3100 + 8 * i,
+                         struct.unpack("<Q", struct.pack("<d", y))[0], 8)
+    trace = interp.run()
+    assert interp.freg("fa0") == pytest.approx(expected)
+    # trace has FP loads into the FP register file and FMA ops
+    fp_loads = np.count_nonzero(
+        (trace.op == int(OpClass.LOAD)) & (trace.dst >= FP_REG_BASE))
+    assert fp_loads == 16
+    assert np.count_nonzero(trace.op == int(OpClass.FP_FMA)) == 8
+
+
+def test_fp_trace_runs_on_timing_model():
+    """FP traces from real code drive the core models end to end."""
+    from repro.soc import MILKV_SIM, System
+
+    _, trace = run("""
+        li t0, 9
+        fcvt.d.l fa0, t0
+        fsqrt.d fa1, fa0
+        fmul.d fa2, fa1, fa1
+        fdiv.d fa3, fa2, fa0
+    """)
+    r = System(MILKV_SIM).run(trace)
+    assert r.instructions == len(trace)
+    assert r.cycles > 10  # sqrt + dependent chain cost real cycles

@@ -1,0 +1,206 @@
+"""Functional tests of the RV64IM interpreter and its trace emission."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Interpreter, OpClass, assemble
+from repro.isa.interp import ExecutionError
+
+
+def run(src, max_instructions=100_000, **kwargs):
+    interp = Interpreter(assemble(src), **kwargs)
+    trace = interp.run(max_instructions=max_instructions)
+    return interp, trace
+
+
+def test_basic_arithmetic():
+    interp, _ = run(
+        """
+        li a0, 7
+        li a1, 5
+        add a2, a0, a1
+        sub a3, a0, a1
+        mul a4, a0, a1
+        div a5, a0, a1
+        rem a6, a0, a1
+        """
+    )
+    assert interp.reg("a2") == 12
+    assert interp.reg("a3") == 2
+    assert interp.reg("a4") == 35
+    assert interp.reg("a5") == 1
+    assert interp.reg("a6") == 2
+
+
+def test_negative_and_64bit():
+    interp, _ = run(
+        """
+        li a0, -10
+        li a1, 3
+        div a2, a0, a1
+        rem a3, a0, a1
+        sra a4, a0, a1
+        srl a5, a0, a1
+        """
+    )
+    assert interp.reg("a2") == -3   # RISC-V truncates toward zero
+    assert interp.reg("a3") == -1
+    assert interp.reg("a4") == -10 >> 3
+    assert interp.reg("a5") == ((-10) & ((1 << 64) - 1)) >> 3
+
+
+def test_div_by_zero_semantics():
+    interp, _ = run(
+        """
+        li a0, 42
+        li a1, 0
+        div a2, a0, a1
+        rem a3, a0, a1
+        divu a4, a0, a1
+        """
+    )
+    assert interp.reg("a2") == -1
+    assert interp.reg("a3") == 42
+    assert interp.reg("a4") == -1  # all ones
+
+
+def test_word_ops_sign_extend():
+    interp, _ = run(
+        """
+        li a0, 0x7fffffff
+        addiw a1, a0, 1
+        """
+    )
+    assert interp.reg("a1") == -(1 << 31)
+
+
+def test_memory_roundtrip():
+    interp, trace = run(
+        """
+        li a0, 0x1000
+        li a1, -123
+        sd a1, 0(a0)
+        ld a2, 0(a0)
+        lw a3, 0(a0)
+        lbu a4, 0(a0)
+        """
+    )
+    assert interp.reg("a2") == -123
+    assert interp.reg("a3") == -123
+    assert interp.reg("a4") == (-123) & 0xFF
+    stats = trace.stats()
+    assert stats.loads == 3
+    assert stats.stores == 1
+
+
+def test_loop_sum():
+    # sum 1..100 with a countdown loop
+    interp, trace = run(
+        """
+            li a0, 0
+            li a1, 100
+        loop:
+            add a0, a0, a1
+            addi a1, a1, -1
+            bnez a1, loop
+        """
+    )
+    assert interp.reg("a0") == 5050
+    st = trace.stats()
+    assert st.branches == 100
+    assert st.taken_branches == 99
+
+
+def test_call_ret_trace_classes():
+    interp, trace = run(
+        """
+            li a0, 5
+            call double
+            j end
+        double:
+            add a0, a0, a0
+            ret
+        end:
+            addi a1, a0, 0
+        """
+    )
+    assert interp.reg("a0") == 10
+    assert interp.reg("a1") == 10
+    ops = list(trace.op)
+    assert int(OpClass.CALL) in ops
+    assert int(OpClass.RET) in ops
+
+
+def test_x0_is_hardwired_zero():
+    interp, _ = run("addi x0, x0, 5\naddi a0, x0, 1")
+    assert interp.reg(0) == 0
+    assert interp.reg("a0") == 1
+
+
+def test_fuel_exhaustion():
+    with pytest.raises(ExecutionError):
+        run("loop: j loop", max_instructions=100)
+
+
+def test_ecall_halts():
+    interp, _ = run("li a0, 1\necall\nli a0, 2")
+    assert interp.reg("a0") == 1
+    assert interp.halted
+
+
+def test_trace_pcs_are_sequential_within_straightline():
+    _, trace = run("addi a0, x0, 1\naddi a1, x0, 2\naddi a2, x0, 3")
+    assert list(np.diff(trace.pc.astype(np.int64))) == [4, 4]
+
+
+def test_fibonacci_recursive():
+    # fib(10) = 55 via naive recursion, exercising the stack
+    interp, trace = run(
+        """
+            li sp, 0x8000
+            li a0, 10
+            call fib
+            j end
+        fib:
+            li t0, 2
+            blt a0, t0, base
+            addi sp, sp, -16
+            sd ra, 8(sp)
+            sd a0, 0(sp)
+            addi a0, a0, -1
+            call fib
+            ld t1, 0(sp)
+            sd a0, 0(sp)
+            addi a0, t1, -2
+            call fib
+            ld t1, 0(sp)
+            add a0, a0, t1
+            ld ra, 8(sp)
+            addi sp, sp, 16
+        base:
+            ret
+        end:
+            addi zero, zero, 0
+        """
+    )
+    assert interp.reg("a0") == 55
+    st = trace.stats()
+    assert st.total > 100  # real recursion happened
+
+
+def test_mulh_against_python():
+    interp, _ = run(
+        """
+        li a0, 0x7ff
+        slli a0, a0, 52
+        li a1, 0x123
+        slli a1, a1, 40
+        mulh a2, a0, a1
+        mulhu a3, a0, a1
+        """
+    )
+    a0 = 0x7FF << 52
+    a0s = a0 - (1 << 64) if a0 >> 63 else a0
+    a1 = 0x123 << 40
+    assert interp.reg("a2") == (a0s * a1) >> 64
+    assert interp.reg("a3") == ((a0 & ((1 << 64) - 1)) * a1) >> 64

@@ -1,0 +1,104 @@
+"""Multi-node runtime tests (the paper's §7 future-work capability)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.trace import TraceBuilder
+from repro.smpi import (
+    Comm,
+    MultiNodeRuntime,
+    ethernet_network,
+    run_mpi,
+    run_multinode,
+)
+from repro.soc import ROCKET1, System
+
+
+def trace(n=200):
+    b = TraceBuilder()
+    for i in range(n):
+        b.alu(5 + i % 8, 20, 21)
+    t = b.build()
+    t.pc[:] = 0x1_0000 + (np.arange(n, dtype=np.uint64) % 64) * 4
+    return t
+
+
+def test_rank_placement():
+    rt = MultiNodeRuntime([System(ROCKET1), System(ROCKET1)], ranks_per_node=4)
+    assert rt.nranks == 8
+    assert rt.node_of(0) == 0 and rt.node_of(3) == 0
+    assert rt.node_of(4) == 1 and rt.node_of(7) == 1
+    assert rt._tile_for(5) is rt.systems[1].tiles[1]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiNodeRuntime([])
+    with pytest.raises(ValueError):
+        MultiNodeRuntime([System(ROCKET1)], ranks_per_node=9)
+
+
+def test_eight_ranks_allreduce_across_two_nodes():
+    def program(comm: Comm):
+        total = yield from comm.allreduce(float(comm.rank))
+        return total
+
+    results = run_multinode(ROCKET1, nnodes=2, program=program)
+    assert len(results) == 8
+    expected = sum(range(8))
+    for r in results:
+        assert r.value == pytest.approx(expected)
+
+
+def test_cross_node_messages_cost_more():
+    payload = np.zeros(4096)
+
+    def make(dst):
+        def program(comm: Comm):
+            if comm.rank == 0:
+                yield from comm.send(dst, payload)
+                return None
+            if comm.rank == dst:
+                yield from comm.recv(0)
+            return None
+
+        return program
+
+    # intra-node: rank 0 -> 1; cross-node: rank 0 -> 4
+    intra = run_multinode(ROCKET1, nnodes=2, program=make(1))
+    cross = run_multinode(ROCKET1, nnodes=2, program=make(4))
+    assert cross[4].comm_cycles > 3 * max(1, intra[1].comm_cycles)
+
+
+def test_nodes_have_private_memory_systems():
+    """8 DRAM-hungry ranks on two nodes beat 4 on one node's memory."""
+    b = TraceBuilder()
+    for i in range(1500):
+        b.load(5 + i % 8, 0x100_0000 + i * 4096)
+    t = b.build()
+    t.pc[:] = 0x1_0000 + (np.arange(len(t), dtype=np.uint64) % 64) * 4
+
+    def program(comm: Comm):
+        yield from comm.compute(t)
+        return None
+
+    single = run_mpi(System(ROCKET1), 4, program)
+    multi = run_multinode(ROCKET1, nnodes=2, program=program,
+                          ranks_per_node=2)
+    # same 4-way contention split over two memory systems finishes sooner
+    assert max(r.cycles for r in multi) < max(r.cycles for r in single)
+
+
+def test_npb_ep_runs_on_eight_nodes_scaled():
+    """The §7 goal: an eight-node run (2 ranks per node = 16 ranks)."""
+    from repro.workloads.npb.ep import EP_CLASSES, ep_program, ep_reference
+
+    def program(comm: Comm):
+        return (yield from ep_program(comm, "S"))
+
+    results = run_multinode(ROCKET1, nnodes=8, program=program,
+                            ranks_per_node=2)
+    assert len(results) == 16
+    sx, sy, counts = ep_reference("S")
+    for r in results:
+        assert np.isclose(r.value[0], sx, rtol=1e-8)

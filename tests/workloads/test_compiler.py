@@ -1,0 +1,78 @@
+"""Tests for the GCC-version trace transformation (paper Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceBuilder
+from repro.soc import ROCKET1, System
+from repro.workloads.compiler import GCC_9_4, GCC_13_2, GccModel, apply_compiler
+
+
+def base_trace(n=2000):
+    b = TraceBuilder()
+    for i in range(n):
+        b.alu(5 + i % 8, 20, 21)
+    t = b.build()
+    t.pc[:] = 0x1_0000 + (np.arange(n, dtype=np.uint64) % 64) * 4
+    return t
+
+
+def test_gcc13_is_identity():
+    t = base_trace()
+    assert GCC_13_2.transform(t) is t
+    assert GCC_13_2.overhead == 1.0
+
+
+def test_gcc94_inflates_dynamic_count():
+    t = base_trace()
+    out = apply_compiler(t, GCC_9_4)
+    assert len(out) > len(t)
+    # inflation near the model's expected overhead (4% + 2x1%)
+    assert len(out) / len(t) == pytest.approx(GCC_9_4.overhead, rel=0.25)
+
+
+def test_original_ops_preserved_in_order():
+    t = base_trace(500)
+    out = apply_compiler(t, GCC_9_4)
+    # the subsequence of original (non-inserted) ops is intact: count ALU
+    # ops writing the original destination registers
+    orig_dsts = t.dst[t.dst >= 5]
+    out_dsts = out.dst[(out.dst >= 5) & (out.dst != 28)]
+    assert np.array_equal(orig_dsts, out_dsts)
+
+
+def test_transform_deterministic():
+    t = base_trace(800)
+    a = apply_compiler(t, GCC_9_4, seed=7)
+    b = apply_compiler(t, GCC_9_4, seed=7)
+    assert np.array_equal(a.op, b.op)
+    assert np.array_equal(a.addr, b.addr)
+    c = apply_compiler(t, GCC_9_4, seed=8)
+    assert not np.array_equal(a.op, c.op)
+
+
+def test_inserted_spills_hit_the_stack():
+    t = base_trace(3000)
+    out = apply_compiler(t, GCC_9_4)
+    stores = out.addr[out.op == int(OpClass.STORE)]
+    assert len(stores) > 0
+    assert np.all(stores >= 0x7F00_0000)
+
+
+def test_old_compiler_costs_cycles():
+    t = base_trace(4000)
+    old = apply_compiler(t, GCC_9_4)
+    sys_new, sys_old = System(ROCKET1), System(ROCKET1)
+    sys_new.run(t)
+    sys_old.run(old)
+    r_new = sys_new.run(t)
+    r_old = sys_old.run(old)
+    assert r_old.cycles > r_new.cycles
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        GccModel(name="bad", redundant_rate=1.5)
+    with pytest.raises(ValueError):
+        GccModel(name="bad", spill_rate=-0.1)

@@ -1,0 +1,190 @@
+"""LAMMPS-mini tests: neighbor lists vs brute force, force correctness,
+NVE conservation, and the MPI workload."""
+
+import numpy as np
+import pytest
+
+from repro.soc import MILKV_HW, MILKV_SIM, ROCKET1
+from repro.workloads.lammps import (
+    MDSystem,
+    WCA_CUTOFF,
+    chain_system,
+    fene_forces,
+    half_neighbor_list,
+    kinetic_energy,
+    lj_lattice,
+    lj_forces,
+    run_lammps,
+    temperature,
+)
+
+
+def brute_force_pairs(pos, box, rc):
+    n = len(pos)
+    pairs = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = pos[i] - pos[j]
+            d -= box * np.round(d / box)
+            if np.dot(d, d) < rc * rc:
+                pairs.add((i, j))
+    return pairs
+
+
+# ------------------------------------------------------------ neighbor
+
+def test_neighbor_list_matches_brute_force():
+    rng = np.random.default_rng(0)
+    box = 6.0
+    pos = rng.uniform(0, box, size=(64, 3))
+    rc = 1.5
+    nl = half_neighbor_list(pos, box, rc, skin=0.0)
+    got = {(min(a, b), max(a, b)) for a, b in zip(nl.i, nl.j)}
+    expected = brute_force_pairs(pos, box, rc)
+    assert expected <= got  # list may include extra pairs within cutoff+skin
+    i, j, _ = nl.filter_within(pos, box, rc)
+    filtered = {(min(a, b), max(a, b)) for a, b in zip(i, j)}
+    assert filtered == expected
+
+
+def test_neighbor_list_no_duplicates():
+    rng = np.random.default_rng(1)
+    pos = rng.uniform(0, 5.0, size=(128, 3))
+    nl = half_neighbor_list(pos, 5.0, 1.2)
+    keys = list(zip(np.minimum(nl.i, nl.j), np.maximum(nl.i, nl.j)))
+    assert len(keys) == len(set(keys))
+    assert not np.any(nl.i == nl.j)
+
+
+# ------------------------------------------------------------ forces
+
+def test_lj_two_atoms_at_minimum():
+    # r = 2^(1/6) is the LJ minimum: force ~ 0, energy ~ -1 (unshifted)
+    box = 20.0
+    pos = np.array([[5.0, 5.0, 5.0], [5.0 + WCA_CUTOFF, 5.0, 5.0]])
+    nl = half_neighbor_list(pos, box, 2.5)
+    f, pe = lj_forces(pos, nl, box, rc=2.5, shift=False)
+    assert np.allclose(f, 0.0, atol=1e-10)
+    assert pe == pytest.approx(-1.0, abs=1e-10)
+
+
+def test_lj_forces_newton_third_law():
+    # jittered lattice (uniform-random placement creates overlaps whose
+    # ~1e13 forces cancel only to fp precision, masking real asymmetries)
+    pos, _, box = lj_lattice(108)
+    rng = np.random.default_rng(3)
+    pos = (pos + rng.uniform(-0.05, 0.05, pos.shape)) % box
+    nl = half_neighbor_list(pos, box, 2.5)
+    f, _ = lj_forces(pos, nl, box)
+    assert np.allclose(f.sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_fene_restoring_force():
+    box = 50.0
+    pos = np.array([[10.0, 10, 10], [11.2, 10, 10]])  # stretched past 0.97
+    bonds = np.array([[0, 1]])
+    f, pe = fene_forces(pos, bonds, box)
+    assert f[0, 0] > 0  # atom 0 pulled toward its partner at larger x
+    assert f[1, 0] < 0
+    assert pe > 0
+    assert np.allclose(f.sum(axis=0), 0.0)
+
+
+def test_fene_blows_up_past_r0():
+    pos = np.array([[0.0, 0, 0], [1.6, 0, 0]])
+    with pytest.raises(FloatingPointError):
+        fene_forces(pos, np.array([[0, 1]]), box=50.0)
+
+
+def test_setup_lattice_density():
+    pos, vel, box = lj_lattice(256)
+    assert len(pos) >= 256
+    assert len(pos) / box**3 == pytest.approx(0.8442, rel=1e-6)
+    assert np.allclose(vel.mean(axis=0), 0.0, atol=1e-12)
+
+
+def test_chain_setup_bond_lengths_safe():
+    pos, vel, bonds, box = chain_system(8, beads_per_chain=16, density=0.3)
+    d = pos[bonds[:, 0]] - pos[bonds[:, 1]]
+    d -= box * np.round(d / box)
+    r = np.linalg.norm(d, axis=1)
+    assert r.max() < 1.3   # well inside FENE r0 = 1.5
+    assert r.min() > 0.7
+
+
+# ------------------------------------------------------------ integration
+
+def test_nve_energy_conservation_lj():
+    pos, vel, box = lj_lattice(108, t0=1.0)
+    md = MDSystem(pos, vel, box, style="lj")
+    e0 = md.total_energy()
+    for _ in range(20):
+        md.step()
+    drift = abs(md.total_energy() - e0) / abs(e0)
+    assert drift < 0.01
+
+
+def test_nve_energy_conservation_chain():
+    pos, vel, bonds, box = chain_system(4, beads_per_chain=16, density=0.3)
+    md = MDSystem(pos, vel, box, style="chain", bonds=bonds, dt=0.004)
+    e0 = md.total_energy()
+    for _ in range(20):
+        md.step()
+    assert abs(md.total_energy() - e0) / max(abs(e0), 1.0) < 0.02
+
+
+def test_momentum_conserved():
+    pos, vel, box = lj_lattice(108)
+    md = MDSystem(pos, vel, box)
+    for _ in range(10):
+        md.step()
+    assert np.allclose(md.momentum(), 0.0, atol=1e-9)
+
+
+def test_temperature_positive():
+    pos, vel, box = lj_lattice(108, t0=1.44)
+    assert temperature(vel) == pytest.approx(1.44, rel=0.4)
+    assert kinetic_energy(vel) > 0
+
+
+def test_bad_style_rejected():
+    pos, vel, box = lj_lattice(32)
+    with pytest.raises(ValueError):
+        MDSystem(pos, vel, box, style="eam")
+
+
+# ------------------------------------------------------------ workload
+
+@pytest.mark.parametrize("bench_name", ["lj", "chain"])
+def test_run_lammps_verifies(bench_name):
+    # (arg is not named "benchmark": pytest-benchmark reserves that fixture)
+    r = run_lammps(ROCKET1, nranks=1, benchmark=bench_name,
+                   natoms=128, steps=3)
+    assert r.verified, r
+    assert r.cycles > 0
+
+
+@pytest.mark.parametrize("nranks", [2, 4])
+def test_run_lammps_parallel(nranks):
+    r = run_lammps(ROCKET1, nranks=nranks, benchmark="lj",
+                   natoms=256, steps=3)
+    assert r.verified
+    assert len(r.ranks) == nranks
+
+
+def test_lammps_scales_with_ranks():
+    r1 = run_lammps(ROCKET1, nranks=1, benchmark="lj", natoms=500, steps=4)
+    r4 = run_lammps(ROCKET1, nranks=4, benchmark="lj", natoms=500, steps=4)
+    assert r4.cycles < r1.cycles
+
+
+def test_lammps_hw_beats_sim():
+    """Fig 6: MILK-V hardware outruns its FireSim model on LJ."""
+    sim = run_lammps(MILKV_SIM, nranks=1, benchmark="lj", natoms=256, steps=3)
+    hw = run_lammps(MILKV_HW, nranks=1, benchmark="lj", natoms=256, steps=3)
+    assert hw.seconds < sim.seconds
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ValueError):
+        run_lammps(ROCKET1, benchmark="eam")

@@ -1,0 +1,67 @@
+"""MicroBench behaviour on the out-of-order (BOOM) models — the fig-2 side."""
+
+import pytest
+
+from repro.soc import LARGE_BOOM, MILKV_SIM, SMALL_BOOM
+from repro.workloads.microbench import run_kernel
+
+SCALE = 0.08
+
+
+def run(name, config=LARGE_BOOM, scale=SCALE):
+    return run_kernel(config, name, scale=scale)
+
+
+def test_em5_exploits_ilp_better_than_em1():
+    """Five interleaved multiply chains cover the 3-cycle multiplier on an
+    OoO core; a single chain cannot."""
+    em1 = run("EM1")
+    em5 = run("EM5")
+    assert em5.result.cpi < 0.7 * em1.result.cpi
+
+
+def test_wide_boom_feeds_independent_alu():
+    ei_small = run("EI", SMALL_BOOM)
+    ei_large = run("EI", LARGE_BOOM)
+    # decode 3 vs 1: the wide machine runs the 8-independent-op kernel
+    # much faster
+    assert ei_large.result.cpi < 0.5 * ei_small.result.cpi
+
+
+def test_indirect_switch_flushes_ooo_pipeline():
+    cs1 = run("CS1")
+    cca = run("Cca")
+    # every-iteration target changes cost the deep front end heavily
+    assert cs1.result.cpi > 1.5 * cca.result.cpi
+    assert cs1.result.mispredicts > 0.5 * cs1.result.instructions / 10
+
+
+def test_deep_ras_handles_crd():
+    """BOOM's 32-deep RAS still overflows on 1000-deep recursion, but far
+    less than Rocket's 6-deep one."""
+    from repro.soc import ROCKET1
+
+    boom = run("CRd", LARGE_BOOM, scale=0.3)
+    rocket = run("CRd", ROCKET1, scale=0.3)
+    assert boom.result.mispredicts < rocket.result.mispredicts
+
+
+def test_m_dyn_store_load_coupling():
+    """M_Dyn's loads depend on just-stored data: the OoO window cannot
+    reorder around them, so CPI stays well above the independent kernel."""
+    mdyn = run("M_Dyn")
+    mi = run("MI")
+    assert mdyn.result.cpi > mi.result.cpi
+
+
+def test_milkv_sim_llc_absorbs_mip():
+    """MILKVSim (with the idealised LLC) runs MIP much faster than the
+    LLC-less Large BOOM."""
+    with_llc = run("MIP", MILKV_SIM, scale=0.7)
+    without = run("MIP", LARGE_BOOM, scale=0.7)
+    assert with_llc.seconds < 0.75 * without.seconds
+
+
+def test_tage_learns_ccm_bias():
+    ccm = run("CCm")
+    assert ccm.result.mispredicts < 0.12 * ccm.result.branches

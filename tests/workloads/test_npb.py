@@ -1,0 +1,119 @@
+"""NPB tests: numerical verification against serial references, scaling
+behaviour, and benchmark-characteristic signatures (class S/W keep them fast)."""
+
+import numpy as np
+import pytest
+
+from repro.soc import ROCKET1, SMALL_BOOM
+from repro.workloads.npb import (
+    NPB_RUNNERS,
+    cg_reference,
+    ep_reference,
+    is_reference_checksum,
+    mg_reference,
+    run_cg,
+    run_ep,
+    run_is,
+    run_mg,
+    run_npb,
+)
+
+
+# ------------------------------------------------------------ references
+
+def test_ep_reference_deterministic():
+    a = ep_reference("S")
+    b = ep_reference("S")
+    assert a[0] == b[0] and a[1] == b[1]
+    assert np.array_equal(a[2], b[2])
+    assert a[2].sum() > 0  # some pairs accepted
+
+
+def test_cg_reference_reasonable():
+    z = cg_reference("S")
+    assert 20.0 < z < 21.5  # zeta = 20 + 1/(x.z) with SPD dominant diagonal
+
+
+def test_mg_reference_converges():
+    from repro.workloads.npb.mg import MG_CLASSES, _residual, _rhs, _vcycle
+
+    n, iters, sweeps = MG_CLASSES["S"]
+    f = _rhs(n)
+    u0 = np.zeros((n, n, n))
+    r0 = float(np.sqrt(np.mean(_residual(u0, f) ** 2)))
+    rend = mg_reference("S")
+    assert rend < 0.9 * r0  # V-cycles reduce the residual
+
+
+def test_is_reference_checksum_stable():
+    assert is_reference_checksum("S") == is_reference_checksum("S")
+
+
+# ------------------------------------------------------- verified runs
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_ep_verifies(nranks):
+    r = run_ep(ROCKET1, nranks=nranks, cls="S")
+    assert r.verified
+    assert r.cycles > 0
+    assert len(r.ranks) == nranks
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_cg_verifies(nranks):
+    r = run_cg(ROCKET1, nranks=nranks, cls="S")
+    assert r.verified
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_is_verifies(nranks):
+    r = run_is(ROCKET1, nranks=nranks, cls="S")
+    assert r.verified
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_mg_verifies(nranks):
+    r = run_mg(ROCKET1, nranks=nranks, cls="S")
+    assert r.verified
+
+
+def test_run_npb_dispatch():
+    r = run_npb("ep", ROCKET1, nranks=1, cls="S")
+    assert r.benchmark == "EP"
+    with pytest.raises(KeyError):
+        run_npb("LU", ROCKET1)
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(ValueError):
+        run_ep(ROCKET1, cls="C")
+
+
+# ------------------------------------------------------------ behaviour
+
+def test_ep_scales_with_ranks():
+    r1 = run_ep(ROCKET1, nranks=1, cls="W")
+    r4 = run_ep(ROCKET1, nranks=4, cls="W")
+    # embarrassingly parallel: near-linear scaling
+    assert r4.cycles < 0.45 * r1.cycles
+
+
+def test_mg_scales_but_sublinearly():
+    r1 = run_mg(ROCKET1, nranks=1, cls="W")
+    r4 = run_mg(ROCKET1, nranks=4, cls="W")
+    assert r4.cycles < r1.cycles           # still faster
+    speedup = r1.cycles / r4.cycles
+    assert speedup < 4.2                   # and not super-linear
+
+
+def test_ep_runs_on_boom():
+    r = run_ep(SMALL_BOOM, nranks=1, cls="S")
+    assert r.verified
+    assert r.core_ghz == 2.0
+
+
+def test_npb_result_metrics():
+    r = run_ep(ROCKET1, nranks=2, cls="S")
+    assert r.seconds > 0
+    assert r.total_instructions > 0
+    assert "EP.S" in repr(r)
