@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` code block in the documentation.
+
+Walks README.md and docs/*.md, extracts ```python fences, and runs the
+blocks of each file cumulatively in one namespace (so later blocks may
+use names defined by earlier ones, the way a reader would paste them
+into one REPL session). Any exception fails the run with the file and
+block line number, which is how CI keeps the docs from rotting.
+
+A block can opt out by being immediately preceded by an HTML comment
+marker line::
+
+    <!-- doc-exec: skip -->
+
+Non-``python`` fences (bash, text, ...) are ignored.
+
+Usage: ``python scripts/run_doc_examples.py [FILE.md ...]``
+(no arguments: README.md plus every docs/*.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import traceback
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SKIP_MARKER = "<!-- doc-exec: skip -->"
+
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def extract_blocks(text: str) -> list[tuple[int, str]]:
+    """``(start_line, source)`` for every runnable ```python fence."""
+    blocks: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped.startswith("```python"):
+            skip = any(prev.strip() == SKIP_MARKER
+                       for prev in lines[max(0, i - 2):i] if prev.strip())
+            start = i + 1
+            body: list[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            if not skip:
+                blocks.append((start + 1, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def run_file(path: pathlib.Path) -> int:
+    rel = path.relative_to(ROOT) if path.is_relative_to(ROOT) else path
+    blocks = extract_blocks(path.read_text())
+    if not blocks:
+        print(f"-- {rel}: no python blocks")
+        return 0
+    namespace: dict = {"__name__": "__doc_example__"}
+    failures = 0
+    for lineno, source in blocks:
+        label = f"{rel}:{lineno}"
+        try:
+            code = compile(source, label, "exec")
+            exec(code, namespace)
+        except Exception:
+            failures += 1
+            print(f"FAIL {label}")
+            traceback.print_exc()
+        else:
+            print(f"ok   {label}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        targets = [pathlib.Path(a).resolve() for a in argv]
+    else:
+        targets = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    failures = sum(run_file(p) for p in targets)
+    if failures:
+        print(f"{failures} doc example(s) failed")
+        return 1
+    print("all doc examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,11 +9,13 @@ memory hierarchy.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from ..isa.trace import Trace
 from ..soc.config import SoCConfig
 from ..soc.system import System
+from ..telemetry import Snapshot, StatsRegistry
 
 __all__ = ["PerfReport", "perf_stat"]
 
@@ -39,6 +41,8 @@ class PerfReport:
     dram_writes: int
     dram_row_hit_rate: float
     stalls: dict[str, int] = field(default_factory=dict)
+    #: full measure-window counter delta (repro.telemetry), when collected
+    counters: Snapshot | None = None
 
     @property
     def ipc(self) -> float:
@@ -47,6 +51,33 @@ class PerfReport:
     @property
     def branch_miss_rate(self) -> float:
         return self.branch_misses / self.branches if self.branches else 0.0
+
+    def to_dict(self) -> dict:
+        """Schema-stable dict of every counter (for ``repro perf --json``)."""
+        return {
+            "platform": self.platform,
+            "seconds": self.seconds,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 4),
+            "branches": self.branches,
+            "branch_misses": self.branch_misses,
+            "l1d_loads_misses": self.l1d_loads_misses,
+            "l1i_misses": self.l1i_misses,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "llc_accesses": self.llc_accesses,
+            "llc_misses": self.llc_misses,
+            "dtlb_misses": self.dtlb_misses,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "dram_row_hit_rate": round(self.dram_row_hit_rate, 6),
+            "stalls": dict(self.stalls),
+            "counters": self.counters.data if self.counters else None,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
     def render(self) -> str:
         """A `perf stat`-flavoured text block."""
@@ -81,31 +112,25 @@ def perf_stat(config: SoCConfig, trace: Trace, warmup: bool = True,
     measured pass's deltas are reported, like timing a hot loop.
     """
     system = System(config)
-    port = system.tiles[tile].port
-    uncore = system.uncore
+    registry = StatsRegistry(system)
     if warmup:
-        system.run(trace, tile=tile)
+        system.warm(trace, tile=tile)
 
-    def snap():
-        llc_acc = uncore.llc.stats_accesses if uncore.llc else 0
-        llc_miss = uncore.llc.stats_misses if uncore.llc else 0
-        d = uncore.dram_stats()
-        return {
-            "l2a": uncore.l2.stats.accesses,
-            "l2m": uncore.l2.stats.misses,
-            "llca": llc_acc,
-            "llcm": llc_miss,
-            "dtlb": port.dtlb.stats.misses,
-            "dr": d["reads"],
-            "dw": d["writes"],
-            "rh": d["row_hits"],
-            "rm": d["row_misses"],
-        }
-
-    before = snap()
+    before = registry.snapshot()
     result = system.run(trace, tile=tile)
-    after = snap()
-    delta = {k: after[k] - before[k] for k in before}
+    d = registry.delta(before)
+    u = d["uncore"]
+    delta = {
+        "l2a": u["l2"]["accesses"],
+        "l2m": u["l2"]["misses"],
+        "llca": sum(s["accesses"] for s in u["llc"]) if u["llc"] else 0,
+        "llcm": sum(s["misses"] for s in u["llc"]) if u["llc"] else 0,
+        "dtlb": d["tiles"][tile]["dtlb"]["misses"],
+        "dr": sum(c["reads"] for c in u["dram"]),
+        "dw": sum(c["writes"] for c in u["dram"]),
+        "rh": sum(c["row_hits"] for c in u["dram"]),
+        "rm": sum(c["row_misses"] for c in u["dram"]),
+    }
     total_rows = delta["rh"] + delta["rm"]
     return PerfReport(
         platform=config.name,
@@ -125,4 +150,5 @@ def perf_stat(config: SoCConfig, trace: Trace, warmup: bool = True,
         dram_writes=delta["dw"],
         dram_row_hit_rate=delta["rh"] / total_rows if total_rows else 0.0,
         stalls=dict(result.stalls),
+        counters=d,
     )

@@ -12,8 +12,11 @@ Commands
     print the relative speedup.
 ``npb BENCH --config CFG [--ranks N] [--cls C]``
     Run an NPB benchmark (verified against the serial reference).
-``perf NAME --config CFG [--scale S] [--cold]``
+``perf NAME --config CFG [--scale S] [--cold] [--json]``
     perf-stat style counters for one kernel on one configuration.
+``stats --config CFG --kernel NAME [--scale S] [--json|--csv] [--cold]``
+    Full telemetry snapshot + per-tile CPI stack for one kernel run
+    (see ``docs/observability.md``).
 ``experiment ID [--out FILE]``
     Regenerate a paper table/figure (fig1..fig7, table1/2/4/5, hostrate).
 """
@@ -21,6 +24,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis import (
@@ -74,6 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--config", default="Rocket1")
     pf.add_argument("--scale", type=float, default=1.0)
     pf.add_argument("--cold", action="store_true", help="skip the warmup pass")
+    pf.add_argument("--json", action="store_true",
+                    help="emit the counters as JSON instead of text")
+
+    st = sub.add_parser("stats", help="telemetry snapshot + CPI stack")
+    st.add_argument("--config", default="Rocket1")
+    st.add_argument("--kernel", default="MM")
+    st.add_argument("--scale", type=float, default=1.0)
+    st.add_argument("--cold", action="store_true", help="skip the warmup pass")
+    fmt = st.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", help="JSON snapshot")
+    fmt.add_argument("--csv", action="store_true", help="flat counter CSV")
+    st.add_argument("--out", default=None, help="also write the output here")
 
     e = sub.add_parser("experiment", help="regenerate a paper artifact")
     e.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -132,7 +148,47 @@ def main(argv: list[str] | None = None) -> int:
         trace = kern.build(scale=max(args.scale, kern.min_harness_scale))
         rep = perf_stat(get_config(args.config), trace,
                         warmup=not args.cold and kern.needs_warmup)
-        print(rep.render())
+        print(rep.to_json() if args.json else rep.render())
+        return 0
+
+    if args.command == "stats":
+        from .soc.system import System
+        from .telemetry import StatsRegistry, cpi_stack
+
+        kern = get_kernel(args.kernel)
+        trace = kern.build(scale=max(args.scale, kern.min_harness_scale))
+        cfg = get_config(args.config)
+        system = System(cfg)
+        registry = StatsRegistry(system)
+        if not args.cold and kern.needs_warmup:
+            system.warm(trace)
+        base = registry.snapshot()
+        result = system.run(trace)
+        delta = registry.delta(base)
+        stack = cpi_stack(system, result, delta)
+        if args.csv:
+            text = delta.to_csv().rstrip("\n")
+        elif args.json:
+            text = json.dumps({
+                "schema": delta["schema"],
+                "config": cfg.name,
+                "kernel": kern.spec.name,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "cpi": round(result.cpi, 4),
+                "tiles": [stack.to_dict()],
+                "counters": delta.data,
+            }, indent=2)
+        else:
+            text = (f"{kern.spec.name} on {cfg.name}\n{stack.render()}\n\n"
+                    f"counter delta (warmed window):\n"
+                    + "\n".join(f"  {k} = {v}"
+                                for k, v in sorted(delta.flat().items())
+                                if isinstance(v, (int, float)) and v))
+        print(text)
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(text + "\n")
         return 0
 
     if args.command == "npb":

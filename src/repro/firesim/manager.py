@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..isa.trace import Trace
-from ..smpi.runtime import RankResult, run_mpi
+from ..smpi.runtime import RankResult, SMPIRuntime
 from ..soc.config import SoCConfig
 from ..soc.system import System
+from ..telemetry import CPIStack, Snapshot, StatsRegistry, cpi_stack, cpi_stacks
 from .host import HostModel, host_model_for
 
 __all__ = ["SimulationReport", "FireSimManager"]
@@ -32,6 +33,10 @@ class SimulationReport:
     slowdown: float
     instructions: int = 0
     ranks: list[RankResult] = field(default_factory=list)
+    #: counter delta over the run (see repro.telemetry)
+    telemetry: Snapshot | None = None
+    #: per-tile/per-rank cycle attribution for the run
+    cpi: list[CPIStack] = field(default_factory=list)
 
     def __str__(self) -> str:
         return (
@@ -53,27 +58,37 @@ class FireSimManager:
         self.config = config
         self.host: HostModel = host_model_for(config)
         self.system = System(config)
+        self.registry = StatsRegistry(self.system)
 
     def reset(self) -> None:
         """Fresh target state (new System), as a new simulation run would."""
         self.system = System(self.config)
+        self.registry = StatsRegistry(self.system)
 
     # -- single-core trace workloads ------------------------------------------
 
     def run_trace(self, trace: Trace, tile: int = 0) -> SimulationReport:
         """Simulate a single instruction trace on one tile."""
+        base = self.registry.snapshot()
         result = self.system.run(trace, tile=tile)
-        return self._report(result.cycles, result.instructions)
+        rep = self._report(result.cycles, result.instructions)
+        rep.telemetry = self.registry.delta(base)
+        rep.cpi = [cpi_stack(self.system, result, rep.telemetry, tile=tile)]
+        return rep
 
     # -- MPI workloads -------------------------------------------------------
 
     def run_mpi(self, nranks: int, program) -> SimulationReport:
         """Simulate an MPI rank program across the design's tiles."""
-        results = run_mpi(self.system, nranks, program)
+        runtime = SMPIRuntime(self.system, nranks, registry=self.registry)
+        results = runtime.run(program)
         cycles = max(r.cycles for r in results)
         instrs = sum(r.instructions for r in results)
         rep = self._report(cycles, instrs)
         rep.ranks = results
+        rep.telemetry = runtime.telemetry
+        rep.cpi = cpi_stacks(self.system, results, rep.telemetry,
+                             comm_cycles=[r.comm_cycles for r in results])
         return rep
 
     def _report(self, cycles: int, instructions: int) -> SimulationReport:

@@ -73,8 +73,13 @@ class SMPIRuntime:
     """Schedule ``nranks`` rank programs over the tiles of *system*."""
 
     def __init__(self, system: System, nranks: int | None = None,
-                 network: NetworkModel | None = None, chunk: int = 4096) -> None:
+                 network: NetworkModel | None = None, chunk: int = 4096,
+                 registry=None) -> None:
         self.system = system
+        #: optional repro.telemetry.StatsRegistry; when set, run() stores
+        #: the measure-window counter delta in self.telemetry
+        self.registry = registry
+        self.telemetry = None
         self.nranks = nranks if nranks is not None else system.cfg.ncores
         if self.nranks > len(system.tiles):
             raise ValueError(
@@ -101,6 +106,7 @@ class SMPIRuntime:
             st.result = RankResult(rank=r)
             states.append(st)
         self._states = states
+        baseline = self.registry.snapshot() if self.registry is not None else None
 
         while True:
             ready = [s for s in states if s.status == _READY]
@@ -114,6 +120,8 @@ class SMPIRuntime:
 
         for st in states:
             st.result.cycles = st.clock
+        if baseline is not None:
+            self.telemetry = self.registry.delta(baseline)
         return [s.result for s in states]
 
     # -- scheduling internals -----------------------------------------------
@@ -231,5 +239,9 @@ def run_mpi(system: System, nranks: int,
             program: Callable[[Comm], Any],
             network: NetworkModel | None = None,
             chunk: int = 4096) -> list[RankResult]:
-    """Convenience wrapper: build a runtime and run *program* on *nranks*."""
+    """Convenience wrapper: build a runtime and run *program* on *nranks*.
+
+    For telemetry over the run, construct an :class:`SMPIRuntime` with a
+    ``registry`` and read ``runtime.telemetry`` after ``run()``.
+    """
     return SMPIRuntime(system, nranks, network, chunk).run(program)

@@ -92,6 +92,8 @@ class System:
     def __init__(self, cfg: SoCConfig) -> None:
         self.cfg = cfg
         self.uncore = Uncore(cfg.hierarchy)
+        #: scheduler of the most recent run_parallel (for telemetry)
+        self.last_scheduler: LockstepScheduler | None = None
         self.tiles: list[Tile] = []
         for i in range(cfg.ncores):
             port = TilePort(self.uncore, tile_id=i)
@@ -125,7 +127,8 @@ class System:
             )
         lanes = [_TileLane(self.tiles[i], t, chunk=chunk)
                  for i, t in enumerate(traces)]
-        LockstepScheduler(quantum=quantum).run(list(lanes))
+        self.last_scheduler = LockstepScheduler(quantum=quantum)
+        self.last_scheduler.run(list(lanes))
         out = []
         for lane in lanes:
             assert lane.result is not None or len(lane.trace) == 0
@@ -136,9 +139,22 @@ class System:
         """Target wall-clock of a result at this system's core frequency."""
         return result.cycles / (self.cfg.core_ghz * 1e9)
 
-    def warm(self) -> None:
-        """Placeholder for API symmetry: systems start cold; workloads run a
-        warmup slice explicitly when steady-state behaviour is wanted."""
+    def warm(self, *traces: Trace, tile: int = 0) -> None:
+        """Run warmup slices on *tile*, discarding the timing.
+
+        Trains caches, TLBs, and predictors so a subsequent measured run
+        sees steady state — the window a telemetry baseline should follow::
+
+            reg = StatsRegistry(system)
+            system.warm(trace)          # train
+            base = reg.snapshot()       # baseline after warmup
+            result = system.run(trace)  # measured pass
+            hot = reg.delta(base)
+
+        Called with no traces it remains a no-op (systems start cold).
+        """
+        for trace in traces:
+            self.tiles[tile].run(trace)
 
     def __repr__(self) -> str:
         return f"System({self.cfg.name}, {self.cfg.ncores}x {self.cfg.core_type} @ {self.cfg.core_ghz} GHz)"

@@ -1,0 +1,97 @@
+"""CPI-stack attribution invariants on in-order and OoO systems."""
+
+import pytest
+
+from repro.firesim import FireSimManager
+from repro.soc import get_config
+from repro.soc.system import System
+from repro.telemetry import BUCKETS, StatsRegistry, cpi_stack, cpi_stacks
+from repro.workloads.microbench import get_kernel
+
+
+def _run_with_stack(config_name, kernel="MM", scale=0.1):
+    system = System(get_config(config_name))
+    trace = get_kernel(kernel).build(scale=scale)
+    reg = StatsRegistry(system)
+    system.warm(trace)
+    base = reg.snapshot()
+    result = system.run(trace)
+    return system, result, cpi_stack(system, result, reg.delta(base))
+
+
+@pytest.mark.parametrize("config_name", ["Rocket1", "BananaPi-K1"])  # in-order
+def test_buckets_sum_inorder(config_name):
+    _, result, stack = _run_with_stack(config_name)
+    assert stack.cycles == result.cycles
+    assert sum(stack.buckets.values()) == result.cycles
+    assert set(stack.buckets) == set(BUCKETS)
+    assert all(v >= 0 for v in stack.buckets.values())
+
+
+@pytest.mark.parametrize("config_name", ["LargeBOOM", "MILKV-SG2042"])  # OoO
+def test_buckets_sum_ooo(config_name):
+    _, result, stack = _run_with_stack(config_name)
+    assert sum(stack.buckets.values()) == result.cycles
+    assert stack.buckets["base"] > 0
+
+
+def test_memory_kernel_blames_memory():
+    """MM is the paper's worst memory kernel: the stack must say so."""
+    _, _, stack = _run_with_stack("BananaPiSim", kernel="MM", scale=0.5)
+    mem = sum(stack.buckets[b] for b in ("l1", "l2", "llc", "dram", "tlb"))
+    assert mem > stack.cycles // 2
+    assert stack.buckets["dram"] > stack.buckets["base"]
+
+
+def test_compute_kernel_blames_base():
+    """EI is issue-limited: base should dominate the attribution."""
+    _, _, stack = _run_with_stack("Rocket1", kernel="EI", scale=0.05)
+    assert stack.buckets["base"] >= max(
+        stack.buckets[b] for b in BUCKETS if b != "base")
+
+
+def test_parallel_stacks_share_makespan():
+    system = System(get_config("Rocket2"))
+    trace = get_kernel("EI").build(scale=0.05)
+    reg = StatsRegistry(system)
+    base = reg.snapshot()
+    results = system.run_parallel([trace, trace[:len(trace) // 2]])
+    stacks = cpi_stacks(system, results, reg.delta(base))
+    makespan = max(r.cycles for r in results)
+    for s in stacks:
+        assert s.cycles == makespan
+        assert sum(s.buckets.values()) == makespan
+    # the short lane idles in token_stall
+    assert stacks[1].buckets["token_stall"] > stacks[0].buckets["token_stall"]
+
+
+def test_firesim_manager_attaches_telemetry():
+    mgr = FireSimManager(get_config("Rocket1"))
+    trace = get_kernel("EI").build(scale=0.05)
+    rep = mgr.run_trace(trace)
+    assert rep.telemetry is not None
+    assert len(rep.cpi) == 1
+    assert sum(rep.cpi[0].buckets.values()) == rep.target_cycles
+
+
+def test_firesim_manager_mpi_telemetry():
+    mgr = FireSimManager(get_config("Rocket1"))
+    trace = get_kernel("EI").build(scale=0.02)
+
+    def program(comm):
+        yield from comm.compute(trace)
+        total = yield from comm.allreduce(float(comm.rank))
+        return total
+
+    rep = mgr.run_mpi(4, program)
+    assert rep.telemetry is not None
+    assert len(rep.cpi) == 4
+    for stack in rep.cpi:
+        assert sum(stack.buckets.values()) == stack.cycles == rep.target_cycles
+    assert all(r.value == 6.0 for r in rep.ranks)
+
+
+def test_render_mentions_dominant_bucket():
+    _, _, stack = _run_with_stack("BananaPiSim", kernel="MM", scale=0.5)
+    text = stack.render()
+    assert "dram" in text and "CPI" in text

@@ -1,0 +1,68 @@
+"""``repro stats`` CLI: every preset, schema stability, export formats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.soc import ALL_CONFIGS
+from repro.telemetry import BUCKETS, SCHEMA_VERSION
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    return rc, capsys.readouterr().out
+
+
+@pytest.mark.parametrize("config_name", sorted(ALL_CONFIGS))
+def test_stats_runs_on_every_preset(capsys, config_name):
+    rc, out = run_cli(capsys, "stats", "--config", config_name,
+                      "--kernel", "MM", "--scale", "0.05", "--json")
+    assert rc == 0
+    payload = json.loads(out)
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["config"] == config_name
+    assert payload["kernel"] == "MM"
+    tile = payload["tiles"][0]
+    assert set(tile["buckets"]) == set(BUCKETS)
+    assert sum(tile["buckets"].values()) == payload["cycles"] == tile["cycles"]
+    assert payload["counters"]["tiles"][0]["l1d"]["accesses"] > 0
+
+
+def test_stats_human_output(capsys):
+    rc, out = run_cli(capsys, "stats", "--config", "Rocket1",
+                      "--kernel", "EI", "--scale", "0.05")
+    assert rc == 0
+    assert "EI on Rocket1" in out
+    assert "base" in out and "counter delta" in out
+
+
+def test_stats_csv_output(capsys):
+    rc, out = run_cli(capsys, "stats", "--config", "Rocket1",
+                      "--kernel", "EI", "--scale", "0.05", "--csv")
+    assert rc == 0
+    assert out.startswith("counter,value")
+    assert "tiles.0.l1d.accesses," in out
+
+
+def test_stats_writes_out_file(capsys, tmp_path):
+    out_file = tmp_path / "stats.json"
+    rc, out = run_cli(capsys, "stats", "--config", "Rocket1", "--kernel", "EI",
+                      "--scale", "0.05", "--json", "--out", str(out_file))
+    assert rc == 0
+    assert json.loads(out_file.read_text())["config"] == "Rocket1"
+
+
+def test_stats_json_and_csv_conflict():
+    with pytest.raises(SystemExit):
+        main(["stats", "--json", "--csv"])
+
+
+def test_perf_json(capsys):
+    rc, out = run_cli(capsys, "perf", "EI", "--config", "Rocket1",
+                      "--scale", "0.05", "--json")
+    assert rc == 0
+    payload = json.loads(out)
+    assert payload["platform"] == "Rocket1"
+    assert payload["cycles"] > 0
+    assert payload["counters"]["schema"] == SCHEMA_VERSION
