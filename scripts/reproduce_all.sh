@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Reproduce everything: tests, every paper artifact, EXPERIMENTS.md.
-# Takes roughly 30-60 minutes on one core.
+#
+# The figure benchmarks route through the repro.farm scheduler, so the
+# run parallelises across REPRO_WORKERS worker processes (default: all
+# cores) and, when REPRO_CACHE_DIR is set, a re-run only simulates what
+# changed.  REPRO_WORKERS=1 forces the old fully-serial behaviour.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+REPRO_WORKERS="${REPRO_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
+export REPRO_WORKERS
 
 echo "== 1/3 test suite =="
 python -m pytest tests/ 2>&1 | tee test_output.txt
 
-echo "== 2/3 benchmark harness (all tables, figures, ablations) =="
+echo "== 2/3 benchmark harness (all tables, figures, ablations; ${REPRO_WORKERS} farm worker(s)) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 echo "== 3/3 EXPERIMENTS.md =="

@@ -17,6 +17,9 @@ Subpackages
     Chipyard-like SoC configuration and multi-tile systems.
 ``repro.firesim``
     FireSim-style simulation manager and FPGA host-rate model.
+``repro.farm``
+    Run-farm orchestration: parallel job scheduling across worker
+    processes, content-addressed result caching, fault tolerance.
 ``repro.silicon``
     Reference "hardware" models standing in for the physical boards.
 ``repro.smpi``

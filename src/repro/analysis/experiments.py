@@ -26,7 +26,7 @@ from ..soc.presets import (
 )
 from ..firesim.host import host_model_for
 from ..workloads.lammps import run_lammps
-from ..workloads.microbench import categories, run_suite, runnable_kernels
+from ..workloads.microbench import categories, runnable_kernels
 from ..workloads.npb import NPB_RUNNERS
 from ..workloads.ume import run_ume
 from .speedup import SeriesResult, relative_speedup
@@ -52,16 +52,30 @@ _NPB_ORDER = ("CG", "EP", "IS", "MG")
 
 def _microbench_comparison(experiment: str, hw_cfg: SoCConfig,
                            sim_cfgs: list[SoCConfig], scale: float,
-                           kernels: list[str] | None) -> SeriesResult:
+                           kernels: list[str] | None,
+                           workers: int | None = None) -> SeriesResult:
+    """Farm the (config x kernel) cross product through :mod:`repro.farm`.
+
+    Every run is an independent job, so the whole figure parallelises
+    across ``workers`` processes (default ``$REPRO_WORKERS``, so a plain
+    ``fig1()`` stays serial) and profits from ``$REPRO_CACHE_DIR``; the
+    merged timings are identical to the old serial ``run_suite`` loop.
+    """
+    from ..farm import Job, run_jobs
+
     names = kernels or [k.spec.name for k in runnable_kernels()]
-    hw_runs = run_suite(hw_cfg, scale=scale, kernels=names)
-    series: dict[str, list[float]] = {}
-    for cfg in sim_cfgs:
-        sim_runs = run_suite(cfg, scale=scale, kernels=names)
-        series[cfg.name] = [
-            relative_speedup(hw_runs[n].seconds, sim_runs[n].seconds)
+    cfgs = [hw_cfg, *sim_cfgs]
+    jobs = [Job.kernel(cfg, n, scale=scale) for cfg in cfgs for n in names]
+    results = iter(run_jobs(jobs, workers=workers, strict=True))
+    secs = {cfg.name: {n: next(results).payload["seconds"] for n in names}
+            for cfg in cfgs}
+    series = {
+        cfg.name: [
+            relative_speedup(secs[hw_cfg.name][n], secs[cfg.name][n])
             for n in names
         ]
+        for cfg in sim_cfgs
+    }
     return SeriesResult(
         experiment=experiment,
         labels=names,
@@ -69,25 +83,27 @@ def _microbench_comparison(experiment: str, hw_cfg: SoCConfig,
         meta={
             "hardware": hw_cfg.name,
             "categories": categories(),
-            "hw_seconds": {n: hw_runs[n].seconds for n in names},
+            "hw_seconds": dict(secs[hw_cfg.name]),
         },
     )
 
 
-def fig1(scale: float = 1.0, kernels: list[str] | None = None) -> SeriesResult:
+def fig1(scale: float = 1.0, kernels: list[str] | None = None,
+         workers: int | None = None) -> SeriesResult:
     """Fig 1: MicroBench on the tuned Rocket models vs Banana Pi hardware."""
     return _microbench_comparison(
         "fig1", BANANA_PI_HW, [BANANA_PI_SIM, FAST_BANANA_PI_SIM],
-        scale, kernels,
+        scale, kernels, workers,
     )
 
 
-def fig2(scale: float = 1.0, kernels: list[str] | None = None) -> SeriesResult:
+def fig2(scale: float = 1.0, kernels: list[str] | None = None,
+         workers: int | None = None) -> SeriesResult:
     """Fig 2: MicroBench on Small/Medium/Large BOOM and the tuned MILK-V
     model vs MILK-V hardware."""
     return _microbench_comparison(
         "fig2", MILKV_HW, [SMALL_BOOM, MEDIUM_BOOM, LARGE_BOOM, MILKV_SIM],
-        scale, kernels,
+        scale, kernels, workers,
     )
 
 

@@ -3,6 +3,10 @@
 The experiment registry reproduces the paper's fixed design points; sweeps
 answer the follow-on questions ("how does MM scale with tCTRL?", "where
 does the L1-size benefit saturate?") with one call each.
+
+Every sweep routes through :mod:`repro.farm`, so ``workers=4`` shards the
+points across processes and a ``cache`` turns repeated sweeps into disk
+reads — with results guaranteed identical to the serial, uncached path.
 """
 
 from __future__ import annotations
@@ -10,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from ..farm import Job, run_jobs
+from ..farm.cache import ResultCache
 from ..soc.config import SoCConfig
 from ..soc.fragments import Fragment, compose
-from ..workloads.microbench import run_kernel
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_configs", "sweep_knob"]
 
@@ -51,31 +56,44 @@ class SweepResult:
         return min(self.points, key=lambda p: p.seconds)
 
 
+def _farm_sweep(kernel: str, labelled: Sequence[tuple[str, SoCConfig]],
+                scale: float, seed: int, workers: int | None,
+                cache: ResultCache | str | None) -> SweepResult:
+    """Farm one kernel over labelled configs; points keep input order."""
+    jobs = [Job.kernel(cfg, kernel, scale=scale, seed=seed)
+            for _, cfg in labelled]
+    results = run_jobs(jobs, workers=workers, cache=cache, strict=True)
+    return SweepResult(
+        kernel=kernel,
+        points=[
+            SweepPoint(label=label, cycles=r.payload["cycles"],
+                       seconds=r.payload["seconds"])
+            for (label, _), r in zip(labelled, results)
+        ],
+    )
+
+
 def sweep_configs(configs: Sequence[SoCConfig], kernel: str,
-                  scale: float = 1.0, seed: int = 0) -> SweepResult:
+                  scale: float = 1.0, seed: int = 0, *,
+                  workers: int | None = None,
+                  cache: ResultCache | str | None = None) -> SweepResult:
     """Run *kernel* on each config (the fig-1/fig-2 inner loop, exposed)."""
-    result = SweepResult(kernel=kernel)
-    for cfg in configs:
-        run = run_kernel(cfg, kernel, scale=scale, seed=seed)
-        result.points.append(
-            SweepPoint(label=cfg.name, cycles=run.cycles, seconds=run.seconds)
-        )
-    return result
+    return _farm_sweep(kernel, [(cfg.name, cfg) for cfg in configs],
+                       scale, seed, workers, cache)
 
 
 def sweep_knob(base: SoCConfig, make_fragment: Callable[[object], Fragment],
                values: Iterable[object], kernel: str,
-               scale: float = 1.0, seed: int = 0) -> SweepResult:
+               scale: float = 1.0, seed: int = 0, *,
+               workers: int | None = None,
+               cache: ResultCache | str | None = None) -> SweepResult:
     """Sweep one knob: ``make_fragment(v)`` builds the override per value.
 
     >>> from repro.soc.fragments import WithL2Banks
     >>> sweep_knob(ROCKET1, WithL2Banks, [1, 2, 4, 8], "ML2_BW_ld")
     """
-    result = SweepResult(kernel=kernel)
-    for v in values:
-        cfg = compose(base, make_fragment(v), name=f"{base.name}[{v}]")
-        run = run_kernel(cfg, kernel, scale=scale, seed=seed)
-        result.points.append(
-            SweepPoint(label=str(v), cycles=run.cycles, seconds=run.seconds)
-        )
-    return result
+    labelled = [
+        (str(v), compose(base, make_fragment(v), name=f"{base.name}[{v}]"))
+        for v in values
+    ]
+    return _farm_sweep(kernel, labelled, scale, seed, workers, cache)

@@ -19,6 +19,9 @@ Commands
     (see ``docs/observability.md``).
 ``experiment ID [--out FILE]``
     Regenerate a paper table/figure (fig1..fig7, table1/2/4/5, hostrate).
+``farm [--configs A,B] [--kernels X,Y] [--workers N] [--cache-dir DIR]``
+    Farm an ad-hoc kernel sweep across worker processes with result
+    caching and live per-job progress (see ``docs/farm.md``).
 """
 
 from __future__ import annotations
@@ -94,6 +97,29 @@ def build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("experiment", help="regenerate a paper artifact")
     e.add_argument("id", choices=sorted(EXPERIMENTS))
     e.add_argument("--out", default=None, help="also write the text here")
+
+    fm = sub.add_parser("farm", help="farm a kernel sweep across workers")
+    fm.add_argument("--configs", default="Rocket1",
+                    help="comma-separated SoC config names")
+    fm.add_argument("--kernels", default=None,
+                    help="comma-separated kernel names "
+                         "(default: the full runnable suite)")
+    fm.add_argument("--scale", type=float, default=1.0)
+    fm.add_argument("--seed", type=int, default=0)
+    fm.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: $REPRO_WORKERS or 1)")
+    fm.add_argument("--cache-dir", default=None,
+                    help="result cache directory (default: $REPRO_CACHE_DIR)")
+    fm.add_argument("--no-cache", action="store_true",
+                    help="bypass the result cache entirely")
+    fm.add_argument("--timeout", type=float, default=None,
+                    help="per-job timeout in seconds (parallel mode)")
+    fm.add_argument("--retries", type=int, default=2,
+                    help="extra attempts for a failed/hung job")
+    fm.add_argument("--json", action="store_true",
+                    help="emit results + farm stats as JSON")
+    fm.add_argument("--quiet", action="store_true",
+                    help="suppress the live per-job progress lines")
     return p
 
 
@@ -190,6 +216,80 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.out, "w") as f:
                 f.write(text + "\n")
         return 0
+
+    if args.command == "farm":
+        from .farm import Job, RunFarm, resolve_cache
+
+        cfg_names = [c for c in args.configs.split(",") if c]
+        kernel_names = ([k for k in args.kernels.split(",") if k]
+                        if args.kernels
+                        else [k.spec.name for k in runnable_kernels()])
+        jobs = [Job.kernel(get_config(c), k, scale=args.scale, seed=args.seed)
+                for c in cfg_names for k in kernel_names]
+        cache = (None if args.no_cache
+                 else resolve_cache(args.cache_dir))
+
+        done = 0
+        width = max(len(j.label) for j in jobs)
+
+        def progress(ev) -> None:
+            nonlocal done
+            if ev.kind == "start":
+                return
+            if ev.kind == "retry":
+                print(f"[{done:>{len(str(len(jobs)))}}/{len(jobs)}] "
+                      f"{ev.job.label:<{width}}  retrying (attempt "
+                      f"{ev.attempt} failed: {ev.error})", file=sys.stderr)
+                return
+            done += 1
+            if ev.kind == "cache-hit":
+                body = "cache hit"
+            elif ev.kind == "failed":
+                body = f"FAILED: {ev.error}"
+            else:
+                body = f"ok ({ev.elapsed_s:.2f}s, attempt {ev.attempt})"
+            print(f"[{done:>{len(str(len(jobs)))}}/{len(jobs)}] "
+                  f"{ev.job.label:<{width}}  {body}", file=sys.stderr)
+
+        farm = RunFarm(workers=args.workers, cache=cache,
+                       timeout_s=args.timeout, max_retries=args.retries,
+                       on_event=None if args.quiet else progress)
+        results = farm.run(jobs)
+        stats = farm.stats
+
+        if args.json:
+            print(json.dumps({
+                "jobs": [
+                    {
+                        "label": r.job.label,
+                        "config": r.job.config.name,
+                        "kernel": r.job.workload,
+                        "status": r.status,
+                        "from_cache": r.from_cache,
+                        "attempts": r.attempts,
+                        "error": r.error,
+                        "cycles": (r.payload or {}).get("cycles"),
+                        "seconds": (r.payload or {}).get("seconds"),
+                    }
+                    for r in results
+                ],
+                "stats": stats.to_snapshot().data,
+            }, indent=2))
+        else:
+            for r in results:
+                if r.ok:
+                    src = "cache" if r.from_cache else f"run x{r.attempts}"
+                    print(f"{r.job.label:<{width}}  "
+                          f"{r.payload['cycles']:>12,} cycles  "
+                          f"{r.payload['seconds'] * 1e6:>10.1f} us  [{src}]")
+                else:
+                    print(f"{r.job.label:<{width}}  FAILED: {r.error}")
+            print(f"farm: {stats.ok}/{stats.jobs} ok, "
+                  f"{stats.cache_hits} cache hit(s), "
+                  f"{stats.simulated} simulated, {stats.retries} retried, "
+                  f"{stats.failed} failed "
+                  f"({farm.workers} worker(s))")
+        return 0 if stats.failed == 0 else 1
 
     if args.command == "npb":
         res = NPB_RUNNERS[args.bench](get_config(args.config),

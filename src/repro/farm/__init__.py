@@ -1,0 +1,49 @@
+"""Run-farm orchestration: parallel sweeps, result caching, fault tolerance.
+
+FireSim's manager turns "one figure" into a batch of independent
+simulations farmed across FPGA hosts; this package is the same substrate
+for the reproduction.  Entry points:
+
+* :class:`Job` — spec of one simulation (config + workload + ranks + seed).
+* :class:`RunFarm` / :func:`run_jobs` — shard a job list across worker
+  processes with per-job timeouts and bounded retries; merged results
+  are bit-identical to a serial run regardless of worker count.
+* :class:`ResultCache` — content-addressed on-disk payload cache keyed
+  by the full job identity; warm re-runs simulate nothing.
+* :class:`FarmStats` — scheduler counters (cache hits, retries,
+  timeouts), exported as a :class:`repro.telemetry.Snapshot`.
+
+Environment defaults: ``$REPRO_WORKERS`` (worker count) and
+``$REPRO_CACHE_DIR`` (cache location) apply wherever the caller does not
+say otherwise, which is how ``scripts/reproduce_all.sh`` parallelises a
+full reproduction.  See ``docs/farm.md``.
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache, cache_key
+from .job import JOB_KINDS, Job, JobResult, execute_job
+from .runfarm import (
+    FARM_SCHEMA,
+    FarmEvent,
+    FarmStats,
+    RunFarm,
+    resolve_cache,
+    resolve_workers,
+    run_jobs,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "FARM_SCHEMA",
+    "FarmEvent",
+    "FarmStats",
+    "JOB_KINDS",
+    "Job",
+    "JobResult",
+    "ResultCache",
+    "RunFarm",
+    "cache_key",
+    "execute_job",
+    "resolve_cache",
+    "resolve_workers",
+    "run_jobs",
+]

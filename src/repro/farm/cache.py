@@ -1,0 +1,112 @@
+"""Content-addressed on-disk result cache for farmed simulations.
+
+The key is a SHA-256 over the canonical JSON of everything a payload
+depends on: the full ``SoCConfig`` tree (not just its name), the
+workload identity and parameters, the seed/ranks, the cache schema
+version, and the repro package version.  Any change to any of those —
+an ablated L2 bank count, a bumped simulator version — yields a new key,
+so stale entries are never *invalidated*, they are simply never hit
+again.  Re-running a sweep therefore only simulates cache misses.
+
+Entries are one JSON file each, fanned out over 256 two-hex-digit
+subdirectories (git-object style) and written atomically
+(tempfile + ``os.replace``) so a crashed or concurrent writer can never
+leave a truncated entry behind; unreadable entries read as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any
+
+from .. import __version__
+from .job import Job
+
+__all__ = ["CACHE_SCHEMA", "ResultCache", "cache_key"]
+
+#: bump when the payload layout changes shape (invalidates every entry)
+CACHE_SCHEMA = 1
+
+
+def cache_key(job: Job) -> str:
+    """Deterministic content hash of one job's full identity."""
+    ident = {
+        "cache_schema": CACHE_SCHEMA,
+        "repro_version": __version__,
+        "job": job.describe(),
+    }
+    blob = json.dumps(ident, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key[:2]>/<key>.json`` payload files."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    def path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Payload for *key*, or None on miss/corruption (never raises)."""
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, job: Job, payload: dict[str, Any]) -> None:
+        """Store *payload* atomically; concurrent writers race benignly
+        (same key means same content, so last-rename-wins is harmless)."""
+        entry = {
+            "key": key,
+            "schema": CACHE_SCHEMA,
+            "repro_version": __version__,
+            "label": job.label,
+            "job": job.describe(),
+            "payload": payload,
+        }
+        target = self.path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(entry, f, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for p in self.root.glob("??/*.json"):
+            try:
+                p.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, {len(self)} entries)"

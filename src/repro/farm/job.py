@@ -1,0 +1,252 @@
+"""Job specs and the worker-side execution of one farmed simulation.
+
+A :class:`Job` is the unit FireSim's manager ships to a run-farm host:
+the complete recipe for one independent simulation — which SoC
+configuration, which workload, how many ranks, which seed.  Jobs are
+plain frozen dataclasses so they pickle across the process boundary and
+hash stably into the result cache (see :mod:`repro.farm.cache`).
+
+:func:`execute_job` is the *only* execution path: the serial fallback,
+every pool worker, and the cache-fill path all call it, which is what
+makes farmed results bit-identical to serial runs — the payload a job
+produces depends only on the job, never on which process ran it or in
+what order.
+
+Payloads are JSON-trees (ints, floats, strings, lists, dicts) rather
+than live objects: they cross the worker pipe, land in the on-disk
+cache, and are rehydrated into :class:`~repro.firesim.manager.SimulationReport`
+objects by the callers that want them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..soc.config import SoCConfig
+
+__all__ = ["Job", "JobResult", "JOB_KINDS", "execute_job"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent simulation: config + workload + ranks + seed."""
+
+    config: SoCConfig
+    kind: str                   #: "kernel" | "npb" | "selftest"
+    workload: str               #: kernel name / NPB benchmark / selftest mode
+    seed: int = 0
+    ranks: int = 1
+    #: sorted (key, value) pairs of kind-specific knobs (scale, cls, ...)
+    params: tuple[tuple[str, Any], ...] = ()
+    #: per-job timeout override (None: use the farm-wide timeout)
+    timeout_s: float | None = None
+    #: selftest jobs carry injected faults and must never be cached
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; available: {sorted(JOB_KINDS)}"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def kernel(cls, config: SoCConfig, name: str, scale: float = 1.0,
+               seed: int = 0, warmup: bool = True,
+               timeout_s: float | None = None) -> "Job":
+        """A MicroBench kernel run (the fig1/fig2 inner loop)."""
+        return cls(config=config, kind="kernel", workload=name, seed=seed,
+                   params=(("scale", float(scale)), ("warmup", bool(warmup))),
+                   timeout_s=timeout_s)
+
+    @classmethod
+    def npb(cls, config: SoCConfig, benchmark: str, ranks: int = 1,
+            npb_class: str = "A", timeout_s: float | None = None) -> "Job":
+        """An NPB benchmark run across *ranks* MPI ranks."""
+        return cls(config=config, kind="npb", workload=benchmark, ranks=ranks,
+                   params=(("cls", npb_class),), timeout_s=timeout_s)
+
+    @classmethod
+    def selftest(cls, mode: str = "ok", config: SoCConfig | None = None,
+                 timeout_s: float | None = None, **params: Any) -> "Job":
+        """A fault-injection job for exercising the farm itself.
+
+        Modes: ``ok`` (return a value), ``raise`` (always fail),
+        ``hang`` (sleep ``sleep_s``, default 60), ``flaky`` (fail the
+        first ``fail_times`` attempts, then succeed).
+        """
+        if config is None:
+            from ..soc.presets import ROCKET1
+
+            config = ROCKET1
+        return cls(config=config, kind="selftest", workload=mode,
+                   params=tuple(sorted(params.items())),
+                   timeout_s=timeout_s, cacheable=False)
+
+    # -- identity ------------------------------------------------------------
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}@{self.config.name}" + (
+            f"x{self.ranks}" if self.ranks > 1 else "")
+
+    def describe(self) -> dict[str, Any]:
+        """Canonical identity tree: everything the result depends on.
+
+        The cache key is a hash of exactly this tree, so two jobs collide
+        iff they would produce the same payload — the full ``SoCConfig``
+        contents are included, not just the config *name*, which is what
+        keeps swept/composed variants (``Rocket1[4]``) distinct.
+        """
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "seed": self.seed,
+            "ranks": self.ranks,
+            "params": dict(self.params),
+            "config": dataclasses.asdict(self.config),
+        }
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job as the farm saw it (payload + provenance)."""
+
+    job: Job
+    index: int                  #: position in the submitted job list
+    status: str = "ok"          #: "ok" | "failed"
+    payload: dict[str, Any] | None = None
+    attempts: int = 0           #: executions performed (0 for a cache hit)
+    from_cache: bool = False
+    error: str | None = None    #: last error when status == "failed"
+    elapsed_s: float = 0.0      #: host wall-clock of the final attempt
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def __str__(self) -> str:
+        if not self.ok:
+            return f"[{self.job.label}] FAILED: {self.error}"
+        src = "cache" if self.from_cache else f"{self.attempts} attempt(s)"
+        cyc = self.payload.get("cycles") if self.payload else None
+        body = f"{cyc:,} cycles" if cyc is not None else "ok"
+        return f"[{self.job.label}] {body} ({src})"
+
+
+# -- runners ----------------------------------------------------------------
+
+
+def _run_kernel_job(job: Job, attempt: int) -> dict[str, Any]:
+    """Replicate :func:`repro.workloads.microbench.run_kernel` exactly
+    (same scale clamp, same warmup pass) and add the telemetry capture
+    that `repro stats` performs, so one farmed run yields cycles,
+    counters, and the CPI stack in a single simulation."""
+    from ..soc.system import System
+    from ..telemetry import StatsRegistry, cpi_stack
+    from ..workloads.microbench import get_kernel
+
+    kern = get_kernel(job.workload)
+    if kern.spec.broken:
+        raise RuntimeError(f"kernel {kern.spec.name} is marked broken")
+    cfg = job.config
+    scale = max(float(job.param("scale", 1.0)), kern.min_harness_scale)
+    trace = kern.build(scale=scale, seed=job.seed)
+    system = System(cfg)
+    registry = StatsRegistry(system)
+    if job.param("warmup", True) and kern.needs_warmup:
+        system.run(trace)
+    base = registry.snapshot()
+    result = system.run(trace)
+    delta = registry.delta(base)
+    stack = cpi_stack(system, result, delta)
+    return {
+        "kind": "kernel",
+        "config": cfg.name,
+        "workload": kern.spec.name,
+        "seed": job.seed,
+        "scale": scale,
+        "core_ghz": cfg.core_ghz,
+        "cycles": int(result.cycles),
+        "instructions": int(result.instructions),
+        "seconds": result.cycles / (cfg.core_ghz * 1e9),
+        "branches": int(result.branches),
+        "mispredicts": int(result.mispredicts),
+        "l1d_misses": int(result.l1d_misses),
+        "l1i_misses": int(result.l1i_misses),
+        "stalls": {k: int(v) for k, v in sorted(result.stalls.items())},
+        "telemetry": delta.data,
+        "cpi": [stack.to_dict()],
+    }
+
+
+def _run_npb_job(job: Job, attempt: int) -> dict[str, Any]:
+    from ..workloads.npb import NPB_RUNNERS
+
+    res = NPB_RUNNERS[job.workload](job.config, nranks=job.ranks,
+                                    cls=job.param("cls", "A"))
+    return {
+        "kind": "npb",
+        "config": job.config.name,
+        "workload": res.benchmark,
+        "cls": res.cls,
+        "ranks": res.nranks,
+        "verified": bool(res.verified),
+        "core_ghz": res.core_ghz,
+        "cycles": int(res.cycles),
+        "seconds": res.cycles / (res.core_ghz * 1e9),
+        "rank_results": [
+            {
+                "rank": r.rank,
+                "cycles": int(r.cycles),
+                "instructions": int(r.instructions),
+                "compute_cycles": int(r.compute_cycles),
+                "comm_cycles": int(r.comm_cycles),
+                "messages_sent": int(r.messages_sent),
+                "bytes_sent": int(r.bytes_sent),
+            }
+            for r in res.ranks
+        ],
+    }
+
+
+def _run_selftest_job(job: Job, attempt: int) -> dict[str, Any]:
+    mode = job.workload
+    if mode == "raise":
+        raise RuntimeError("selftest: injected failure")
+    if mode == "hang":
+        time.sleep(float(job.param("sleep_s", 60.0)))
+    elif mode == "flaky" and attempt <= int(job.param("fail_times", 1)):
+        raise RuntimeError(f"selftest: injected failure (attempt {attempt})")
+    elif mode not in ("ok", "flaky"):
+        raise ValueError(f"unknown selftest mode {mode!r}")
+    return {"kind": "selftest", "mode": mode, "value": job.param("value", 42)}
+
+
+#: job kind -> runner; the registry makes kinds pluggable without the
+#: scheduler knowing workload specifics
+JOB_KINDS: dict[str, Callable[[Job, int], dict[str, Any]]] = {
+    "kernel": _run_kernel_job,
+    "npb": _run_npb_job,
+    "selftest": _run_selftest_job,
+}
+
+
+def execute_job(job: Job, attempt: int = 1) -> dict[str, Any]:
+    """Run one job to completion in the calling process.
+
+    The single execution path shared by serial mode and every pool
+    worker; *attempt* is 1-based and only consulted by fault-injection
+    jobs (real workloads must not depend on it, or determinism breaks).
+    """
+    return JOB_KINDS[job.kind](job, attempt)

@@ -1,0 +1,407 @@
+"""Run-farm scheduler: shard independent jobs across worker processes.
+
+Modeled on FireSim's manager (``deploy/runtools``), which farms one
+simulation per FPGA host and babysits the fleet: here each "host" is a
+``multiprocessing`` worker process running exactly one :class:`Job`.
+One process per job (rather than a long-lived pool) is what makes the
+fault model simple — a crashed, raising, or hung worker is terminated
+and retried with backoff without poisoning any shared executor state,
+and a per-job timeout is just ``Process.terminate``.
+
+Determinism contract: the merged result list is ordered by submission
+index and every payload comes from :func:`repro.farm.job.execute_job`,
+so the output is bit-identical for any worker count and any completion
+order.  Host-side provenance (attempts, wall-clock, cache hits) lives
+on :class:`~repro.farm.job.JobResult` next to the payload, never inside
+it.
+
+Graceful degradation: ``workers=1`` (or an unavailable multiprocessing
+stack) runs everything in-process through the same code path, minus
+preemptive timeouts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..telemetry import Snapshot
+from .cache import ResultCache, cache_key
+from .job import Job, JobResult, execute_job
+
+__all__ = [
+    "FARM_SCHEMA",
+    "FarmEvent",
+    "FarmStats",
+    "RunFarm",
+    "resolve_cache",
+    "resolve_workers",
+    "run_jobs",
+]
+
+#: schema of the farm-stats telemetry snapshot
+FARM_SCHEMA = 1
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Explicit worker count, else ``$REPRO_WORKERS``, else 1 (serial)."""
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+    return max(1, int(workers))
+
+
+def resolve_cache(cache: ResultCache | str | os.PathLike | None = None,
+                  ) -> ResultCache | None:
+    """Normalise a cache argument: pass through, wrap a path, or fall
+    back to ``$REPRO_CACHE_DIR`` (unset: no caching)."""
+    if cache is None:
+        env = os.environ.get("REPRO_CACHE_DIR")
+        return ResultCache(env) if env else None
+    if isinstance(cache, (str, os.PathLike)):
+        return ResultCache(cache)
+    return cache
+
+
+@dataclass
+class FarmStats:
+    """Farm-level counters, exposed via telemetry like any other stats."""
+
+    jobs: int = 0
+    ok: int = 0
+    failed: int = 0
+    simulated: int = 0      #: attempts that ran a simulation to completion
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    errors: int = 0         #: attempts that raised in the workload
+    timeouts: int = 0       #: attempts killed by the per-job timeout
+    crashes: int = 0        #: workers that died without reporting
+
+    def to_snapshot(self) -> Snapshot:
+        """Counters as a :class:`repro.telemetry.Snapshot` (flat/JSON/CSV
+        export and delta arithmetic come for free)."""
+        return Snapshot({"schema": FARM_SCHEMA,
+                         "farm": dataclasses.asdict(self)})
+
+
+@dataclass
+class FarmEvent:
+    """One progress notification (job picked up, finished, retried...)."""
+
+    kind: str               #: "cache-hit" | "start" | "ok" | "retry" | "failed"
+    index: int              #: job position in the submitted list
+    total: int
+    job: Job
+    attempt: int = 0
+    error: str | None = None
+    elapsed_s: float = 0.0
+
+
+class _Running:
+    """Parent-side record of one in-flight worker process."""
+
+    __slots__ = ("proc", "conn", "key", "attempt", "started")
+
+    def __init__(self, proc, conn, key: str | None, attempt: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.key = key
+        self.attempt = attempt
+        self.started = time.monotonic()
+
+
+def _worker_main(conn, job: Job, attempt: int) -> None:
+    """Child entry point: run one job, report ("ok", payload) or
+    ("error", message) over the pipe, exit."""
+    try:
+        payload = execute_job(job, attempt=attempt)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # report, don't let the child unwind noisily
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class RunFarm:
+    """Schedule a job list across workers with caching and retries.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` reads ``$REPRO_WORKERS``; 1 runs
+        serially in-process.
+    cache:
+        :class:`ResultCache`, a directory path, or ``None``
+        (``$REPRO_CACHE_DIR`` if set, else uncached).
+    timeout_s:
+        Per-job wall-clock limit, enforced in parallel mode by killing
+        the worker (jobs may override via ``Job.timeout_s``).  Serial
+        mode cannot preempt and ignores it.
+    max_retries:
+        Extra attempts after the first for a raising/crashed/hung job;
+        a job that exhausts them is reported ``failed`` without
+        aborting the rest of the sweep.
+    backoff_s:
+        Base relaunch delay; attempt *n* waits ``backoff_s * n``
+        (capped at 2 s) before going back on a worker.
+    on_event:
+        Optional ``Callable[[FarmEvent], None]`` for live progress.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 cache: ResultCache | str | os.PathLike | None = None,
+                 timeout_s: float | None = None, max_retries: int = 2,
+                 backoff_s: float = 0.25,
+                 on_event: Callable[[FarmEvent], None] | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = resolve_cache(cache)
+        self.timeout_s = timeout_s
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_s = max(0.0, float(backoff_s))
+        self.on_event = on_event
+        self.stats = FarmStats()
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, jobs: Iterable[Job]) -> list[JobResult]:
+        """Run every job; returns results in submission order."""
+        jobs = list(jobs)
+        self.stats = stats = FarmStats(jobs=len(jobs))
+        results: list[JobResult | None] = [None] * len(jobs)
+        self._total = len(jobs)
+
+        todo: list[tuple[int, str | None]] = []
+        for i, job in enumerate(jobs):
+            key = (cache_key(job)
+                   if self.cache is not None and job.cacheable else None)
+            payload = self.cache.get(key) if key is not None else None
+            if payload is not None:
+                stats.cache_hits += 1
+                results[i] = JobResult(job=job, index=i, status="ok",
+                                       payload=payload, from_cache=True)
+                self._emit("cache-hit", i, job)
+            else:
+                if key is not None:
+                    stats.cache_misses += 1
+                todo.append((i, key))
+
+        if todo:
+            if self.workers > 1 and len(todo) > 1:
+                try:
+                    self._run_parallel(jobs, todo, results)
+                except OSError:
+                    # pool unavailable (fd limits, sandboxed fork, ...):
+                    # degrade to in-process execution of whatever is left
+                    left = [(i, k) for i, k in todo if results[i] is None]
+                    self._run_serial(jobs, left, results)
+            else:
+                self._run_serial(jobs, todo, results)
+
+        out = [r for r in results if r is not None]
+        assert len(out) == len(jobs), "scheduler lost a job"
+        stats.ok = sum(1 for r in out if r.ok)
+        stats.failed = len(out) - stats.ok
+        return out
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def _emit(self, kind: str, index: int, job: Job, attempt: int = 0,
+              error: str | None = None, elapsed_s: float = 0.0) -> None:
+        if self.on_event is not None:
+            self.on_event(FarmEvent(kind=kind, index=index, total=self._total,
+                                    job=job, attempt=attempt, error=error,
+                                    elapsed_s=elapsed_s))
+
+    def _job_timeout(self, job: Job) -> float | None:
+        return job.timeout_s if job.timeout_s is not None else self.timeout_s
+
+    def _complete(self, results, index: int, job: Job, key: str | None,
+                  payload: dict[str, Any], attempts: int,
+                  elapsed_s: float) -> None:
+        self.stats.simulated += 1
+        if key is not None and self.cache is not None:
+            self.cache.put(key, job, payload)
+        results[index] = JobResult(job=job, index=index, status="ok",
+                                   payload=payload, attempts=attempts,
+                                   elapsed_s=elapsed_s)
+        self._emit("ok", index, job, attempt=attempts, elapsed_s=elapsed_s)
+
+    def _fail(self, results, index: int, job: Job, attempts: int,
+              error: str, elapsed_s: float) -> None:
+        results[index] = JobResult(job=job, index=index, status="failed",
+                                   attempts=attempts, error=error,
+                                   elapsed_s=elapsed_s)
+        self._emit("failed", index, job, attempt=attempts, error=error,
+                   elapsed_s=elapsed_s)
+
+    # -- serial mode ---------------------------------------------------------
+
+    def _run_serial(self, jobs: Sequence[Job],
+                    todo: Sequence[tuple[int, str | None]],
+                    results: list[JobResult | None]) -> None:
+        for index, key in todo:
+            job = jobs[index]
+            error = "not attempted"
+            for attempt in range(1, self.max_retries + 2):
+                self._emit("start", index, job, attempt=attempt)
+                t0 = time.monotonic()
+                try:
+                    payload = execute_job(job, attempt=attempt)
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    self.stats.errors += 1
+                    if attempt <= self.max_retries:
+                        self.stats.retries += 1
+                        self._emit("retry", index, job, attempt=attempt,
+                                   error=error)
+                        if self.backoff_s:
+                            time.sleep(min(self.backoff_s * attempt, 2.0))
+                else:
+                    self._complete(results, index, job, key, payload,
+                                   attempts=attempt,
+                                   elapsed_s=time.monotonic() - t0)
+                    break
+            else:
+                self._fail(results, index, job,
+                           attempts=self.max_retries + 1, error=error,
+                           elapsed_s=0.0)
+
+    # -- parallel mode -------------------------------------------------------
+
+    def _context(self):
+        # fork shares the warmed parent image (cheap start, inherited
+        # hash seed keeps any hash-ordered iteration identical); fall
+        # back to the platform default where fork does not exist
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _run_parallel(self, jobs: Sequence[Job],
+                      todo: Sequence[tuple[int, str | None]],
+                      results: list[JobResult | None]) -> None:
+        ctx = self._context()
+        #: (not-before time, index, key, attempt) of jobs awaiting a worker
+        waiting: list[tuple[float, int, str | None, int]] = [
+            (0.0, index, key, 1) for index, key in todo
+        ]
+        running: dict[int, _Running] = {}
+
+        def launch(index: int, key: str | None, attempt: int) -> None:
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker_main,
+                               args=(send, jobs[index], attempt), daemon=True)
+            proc.start()
+            send.close()
+            running[index] = _Running(proc, recv, key, attempt)
+            self._emit("start", index, jobs[index], attempt=attempt)
+
+        def reap(index: int) -> _Running:
+            r = running.pop(index)
+            try:
+                r.conn.close()
+            except Exception:
+                pass
+            if r.proc.is_alive():
+                r.proc.terminate()
+            r.proc.join(timeout=5.0)
+            return r
+
+        def retry_or_fail(index: int, r: _Running, error: str) -> None:
+            if r.attempt <= self.max_retries:
+                self.stats.retries += 1
+                self._emit("retry", index, jobs[index], attempt=r.attempt,
+                           error=error)
+                delay = min(self.backoff_s * r.attempt, 2.0)
+                waiting.append((time.monotonic() + delay, index, r.key,
+                                r.attempt + 1))
+            else:
+                self._fail(results, index, jobs[index], attempts=r.attempt,
+                           error=error,
+                           elapsed_s=time.monotonic() - r.started)
+
+        try:
+            while waiting or running:
+                now = time.monotonic()
+                waiting.sort()
+                while (waiting and len(running) < self.workers
+                       and waiting[0][0] <= now):
+                    _, index, key, attempt = waiting.pop(0)
+                    launch(index, key, attempt)
+
+                progressed = False
+                for index in list(running):
+                    r = running[index]
+                    if r.conn.poll():
+                        try:
+                            status, data = r.conn.recv()
+                        except (EOFError, OSError):
+                            status, data = "error", "worker pipe closed early"
+                        reap(index)
+                        if status == "ok":
+                            self._complete(results, index, jobs[index], r.key,
+                                           data, attempts=r.attempt,
+                                           elapsed_s=now - r.started)
+                        else:
+                            self.stats.errors += 1
+                            retry_or_fail(index, r, str(data))
+                        progressed = True
+                    elif not r.proc.is_alive():
+                        code = r.proc.exitcode
+                        reap(index)
+                        self.stats.crashes += 1
+                        retry_or_fail(index, r,
+                                      f"worker crashed (exit code {code})")
+                        progressed = True
+                    else:
+                        limit = self._job_timeout(jobs[index])
+                        if limit is not None and now - r.started > limit:
+                            reap(index)
+                            self.stats.timeouts += 1
+                            retry_or_fail(index, r,
+                                          f"timed out after {limit:g}s")
+                            progressed = True
+                if not progressed:
+                    # nothing finished this pass: nap briefly instead of
+                    # spinning (workers run for seconds, not micros)
+                    time.sleep(0.005)
+        finally:
+            for index in list(running):
+                reap(index)
+
+
+def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
+             cache: ResultCache | str | os.PathLike | None = None,
+             timeout_s: float | None = None, max_retries: int = 2,
+             backoff_s: float = 0.25,
+             on_event: Callable[[FarmEvent], None] | None = None,
+             strict: bool = False) -> list[JobResult]:
+    """One-call convenience: build a :class:`RunFarm`, run *jobs*.
+
+    With ``strict=True`` any failed job raises ``RuntimeError`` (the
+    sweep still ran to completion first, so the message lists every
+    failure at once).
+    """
+    farm = RunFarm(workers=workers, cache=cache, timeout_s=timeout_s,
+                   max_retries=max_retries, backoff_s=backoff_s,
+                   on_event=on_event)
+    results = farm.run(jobs)
+    if strict:
+        failed = [r for r in results if not r.ok]
+        if failed:
+            lines = "; ".join(f"{r.job.label}: {r.error}" for r in failed)
+            raise RuntimeError(
+                f"{len(failed)}/{len(results)} farmed job(s) failed: {lines}")
+    return results

@@ -11,6 +11,7 @@ wall-clock (what the FPGA cluster spends), mirroring how the real
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 from ..isa.trace import Trace
 from ..smpi.runtime import RankResult, SMPIRuntime
@@ -59,6 +60,8 @@ class FireSimManager:
         self.host: HostModel = host_model_for(config)
         self.system = System(config)
         self.registry = StatsRegistry(self.system)
+        #: scheduler counters of the most recent :meth:`run_batch`
+        self.farm_stats = None
 
     def reset(self) -> None:
         """Fresh target state (new System), as a new simulation run would."""
@@ -89,6 +92,47 @@ class FireSimManager:
         rep.telemetry = runtime.telemetry
         rep.cpi = cpi_stacks(self.system, results, rep.telemetry,
                              comm_cycles=[r.comm_cycles for r in results])
+        return rep
+
+    # -- batch workloads (the run farm) --------------------------------------
+
+    def run_batch(self, kernels: Sequence[str], scale: float = 1.0,
+                  seed: int = 0, *, workers: int | None = None,
+                  cache=None, timeout_s: float | None = None,
+                  max_retries: int = 2,
+                  on_event: Callable | None = None) -> list[SimulationReport]:
+        """Farm a batch of MicroBench kernels for this design.
+
+        The batch entry point mirrors ``firesim runworkload``: each
+        kernel becomes an independent :class:`repro.farm.Job`, the list
+        is sharded across ``workers`` processes (default
+        ``$REPRO_WORKERS``), and results come back in kernel order as
+        full :class:`SimulationReport` objects — telemetry snapshot and
+        CPI stack included — bit-identical to running each kernel
+        serially.  Farm counters land on :attr:`farm_stats`.  Any job
+        that still fails after its retries raises.
+        """
+        from ..farm import Job, RunFarm
+
+        jobs = [Job.kernel(self.config, name, scale=scale, seed=seed)
+                for name in kernels]
+        farm = RunFarm(workers=workers, cache=cache, timeout_s=timeout_s,
+                       max_retries=max_retries, on_event=on_event)
+        results = farm.run(jobs)
+        self.farm_stats = farm.stats
+        failed = [r for r in results if not r.ok]
+        if failed:
+            lines = "; ".join(f"{r.job.label}: {r.error}" for r in failed)
+            raise RuntimeError(
+                f"{len(failed)}/{len(results)} batch job(s) failed: {lines}")
+        return [self._report_from_payload(r.payload) for r in results]
+
+    def _report_from_payload(self, payload: dict[str, Any]) -> SimulationReport:
+        """Rehydrate a farmed job payload into a SimulationReport."""
+        rep = self._report(payload["cycles"], payload["instructions"])
+        if payload.get("telemetry") is not None:
+            rep.telemetry = Snapshot(payload["telemetry"])
+        rep.cpi = [CPIStack.from_dict(d) for d in payload.get("cpi", [])]
         return rep
 
     def _report(self, cycles: int, instructions: int) -> SimulationReport:

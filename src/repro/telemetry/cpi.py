@@ -68,6 +68,17 @@ class CPIStack:
             "buckets": dict(self.buckets),
         }
 
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CPIStack":
+        """Inverse of :meth:`to_dict` (``cpi`` is derived, not stored) —
+        the JSON round-trip farmed results take across processes."""
+        return cls(
+            tile=int(d["tile"]),
+            cycles=int(d["cycles"]),
+            instructions=int(d["instructions"]),
+            buckets={k: int(v) for k, v in d["buckets"].items()},
+        )
+
     def render(self, width: int = 40) -> str:
         """Text bar chart, one row per non-empty bucket."""
         rows = [f"tile {self.tile}: {self.cycles:,} cycles, "

@@ -1,0 +1,79 @@
+"""Result-cache tests: content addressing, round-trips, invalidation."""
+
+import json
+
+import pytest
+
+from repro.farm import Job, ResultCache, cache_key, execute_job
+from repro.soc import ROCKET1, ROCKET2, compose
+from repro.soc.fragments import WithL2Banks
+
+
+def kernel_job(**kw):
+    defaults = dict(config=ROCKET1, name="EI", scale=0.05, seed=0)
+    defaults.update(kw)
+    return Job.kernel(defaults.pop("config"), defaults.pop("name"), **defaults)
+
+
+def test_key_is_deterministic_and_hex():
+    a, b = cache_key(kernel_job()), cache_key(kernel_job())
+    assert a == b
+    assert len(a) == 64 and int(a, 16) >= 0
+
+
+@pytest.mark.parametrize("other", [
+    kernel_job(config=ROCKET2),
+    kernel_job(name="MM"),
+    kernel_job(seed=1),
+    kernel_job(scale=0.1),
+    kernel_job(warmup=False),
+])
+def test_key_changes_with_any_identity_field(other):
+    assert cache_key(kernel_job()) != cache_key(other)
+
+
+def test_key_sees_through_config_name_collisions():
+    """Composed variants hash the full config tree, not just the name."""
+    banked = compose(ROCKET1, WithL2Banks(8), name=ROCKET1.name)
+    assert banked.name == ROCKET1.name
+    assert cache_key(Job.kernel(banked, "EI", scale=0.05)) != \
+        cache_key(kernel_job())
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = kernel_job()
+    key = cache_key(job)
+    assert cache.get(key) is None and key not in cache
+    payload = execute_job(job)
+    cache.put(key, job, payload)
+    assert cache.get(key) == payload
+    assert key in cache and len(cache) == 1
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = kernel_job()
+    key = cache_key(job)
+    cache.put(key, job, {"cycles": 1})
+    path = cache.path(key)
+    path.write_text("{ truncated")
+    assert cache.get(key) is None
+    # wrong-key entry (e.g. renamed file) is also a miss
+    path.write_text(json.dumps({"key": "0" * 64, "payload": {"cycles": 1}}))
+    assert cache.get(key) is None
+
+
+def test_clear_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    for seed in range(3):
+        job = kernel_job(seed=seed)
+        cache.put(cache_key(job), job, {"cycles": seed})
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+def test_selftest_jobs_are_not_cacheable():
+    assert Job.selftest("ok").cacheable is False
+    assert kernel_job().cacheable is True

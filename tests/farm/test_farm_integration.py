@@ -1,0 +1,114 @@
+"""Integration: the farm wired through manager, sweeps, experiments, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import fig1
+from repro.analysis.sweep import sweep_configs, sweep_knob
+from repro.cli import main
+from repro.firesim.manager import FireSimManager
+from repro.soc import ROCKET1, ROCKET2
+from repro.soc.fragments import WithL2Banks
+from repro.workloads.microbench import run_kernel
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    return rc, capsys.readouterr().out
+
+
+# -- manager batch entry point ----------------------------------------------
+
+
+def test_run_batch_matches_singleton_runs():
+    mgr = FireSimManager(ROCKET1)
+    reps = mgr.run_batch(["EI", "MM"], scale=0.05, workers=2)
+    assert [r.target_cycles for r in reps] == [
+        run_kernel(ROCKET1, k, scale=0.05).cycles for k in ("EI", "MM")
+    ]
+    for rep in reps:
+        assert rep.telemetry is not None
+        assert rep.telemetry["config"] == "Rocket1"
+        # rehydrated CPI stacks keep the exact-sum invariant
+        assert sum(rep.cpi[0].buckets.values()) == rep.cpi[0].cycles
+    assert mgr.farm_stats.simulated == 2
+
+
+def test_run_batch_raises_on_persistent_failure():
+    mgr = FireSimManager(ROCKET1)
+    with pytest.raises(RuntimeError, match="batch job"):
+        mgr.run_batch(["EI", "NoSuchKernel"], scale=0.05,
+                      max_retries=0)
+
+
+# -- analysis sweeps ---------------------------------------------------------
+
+
+def test_sweep_configs_parallel_equals_serial(tmp_path):
+    serial = sweep_configs([ROCKET1, ROCKET2], "EI", scale=0.05)
+    farmed = sweep_configs([ROCKET1, ROCKET2], "EI", scale=0.05,
+                           workers=2, cache=str(tmp_path))
+    assert farmed.points == serial.points
+    # second pass is cache-served and still identical
+    again = sweep_configs([ROCKET1, ROCKET2], "EI", scale=0.05,
+                          workers=2, cache=str(tmp_path))
+    assert again.points == serial.points
+
+
+def test_sweep_knob_labels_and_cache_distinct_variants(tmp_path):
+    r = sweep_knob(ROCKET1, WithL2Banks, [1, 4], "EI", scale=0.05,
+                   workers=2, cache=str(tmp_path))
+    assert [p.label for p in r.points] == ["1", "4"]
+
+
+# -- experiments -------------------------------------------------------------
+
+
+def test_fig1_farmed_equals_serial():
+    kernels = ["EI", "MM", "Cca", "DP1f"]   # 3 configs x 4 kernels >= 8 jobs
+    serial = fig1(scale=0.05, kernels=kernels)
+    farmed = fig1(scale=0.05, kernels=kernels, workers=4)
+    assert farmed.series == serial.series
+    assert farmed.labels == serial.labels
+    assert farmed.meta["hw_seconds"] == serial.meta["hw_seconds"]
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_farm_basic(capsys):
+    rc, out = run_cli(capsys, "farm", "--configs", "Rocket1",
+                      "--kernels", "EI,MM", "--scale", "0.05",
+                      "--workers", "2", "--no-cache", "--quiet")
+    assert rc == 0
+    assert "EI@Rocket1" in out and "MM@Rocket1" in out
+    assert "farm: 2/2 ok" in out
+
+
+def test_cli_farm_json_warm_cache(capsys, tmp_path):
+    argv = ["farm", "--configs", "Rocket1,Rocket2", "--kernels", "EI,Cca",
+            "--scale", "0.05", "--workers", "2",
+            "--cache-dir", str(tmp_path), "--quiet", "--json"]
+    rc, out = run_cli(capsys, *argv)
+    assert rc == 0
+    cold = json.loads(out)
+    assert cold["stats"]["farm"]["simulated"] == 4
+
+    rc, out = run_cli(capsys, *argv)
+    assert rc == 0
+    warm = json.loads(out)
+    assert warm["stats"]["farm"]["cache_hits"] == 4
+    assert warm["stats"]["farm"]["simulated"] == 0
+    assert [j["cycles"] for j in warm["jobs"]] == \
+        [j["cycles"] for j in cold["jobs"]]
+
+
+def test_cli_farm_failure_exit_code(capsys):
+    # an unknown kernel name fails the job (after retries) but the farm
+    # still completes and reports, exiting nonzero
+    rc, out = run_cli(capsys, "farm", "--configs", "Rocket1",
+                      "--kernels", "EI,NoSuchKernel", "--scale", "0.05",
+                      "--no-cache", "--retries", "0", "--quiet")
+    assert rc == 1
+    assert "FAILED" in out and "farm: 1/2 ok" in out
