@@ -21,7 +21,15 @@ Commands
     Regenerate a paper table/figure (fig1..fig7, table1/2/4/5, hostrate).
 ``farm [--configs A,B] [--kernels X,Y] [--workers N] [--cache-dir DIR]``
     Farm an ad-hoc kernel sweep across worker processes with result
-    caching and live per-job progress (see ``docs/farm.md``).
+    caching and live per-job progress (see ``docs/farm.md``).  With
+    ``--quantum``/``--checkpoint-dir`` jobs run checkpointable; with
+    ``--fault-plan`` deterministic chaos is injected (``docs/reliability.md``).
+``checkpoint --config CFG --kernel NAME [--at N] --out FILE``
+    Run a kernel through the token-lockstep path, save a mid-run (or
+    final) checkpoint; ``--info FILE`` inspects one instead.
+``replay FILE [--verify]``
+    Resume a saved checkpoint to completion; ``--verify`` re-runs
+    uninterrupted from scratch and asserts bit-identical results.
 """
 
 from __future__ import annotations
@@ -120,6 +128,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit results + farm stats as JSON")
     fm.add_argument("--quiet", action="store_true",
                     help="suppress the live per-job progress lines")
+    fm.add_argument("--quantum", type=int, default=None,
+                    help="run kernels through the token-lockstep path in "
+                         "quanta of this many cycles (checkpointable jobs)")
+    fm.add_argument("--checkpoint-dir", default=None,
+                    help="save mid-run job checkpoints here; retries of "
+                         "crashed jobs resume from them")
+    fm.add_argument("--checkpoint-every", type=int, default=8,
+                    help="quanta between checkpoint saves")
+    fm.add_argument("--manifest", default=None,
+                    help="write a JSON run manifest here (also on Ctrl-C)")
+    fm.add_argument("--fault-plan", default=None,
+                    help="fault-injection DSL, inline or @file "
+                         "(see docs/reliability.md)")
+    fm.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for the fault plan's deterministic damage")
+
+    ck = sub.add_parser("checkpoint",
+                        help="save (or inspect) a lockstep run checkpoint")
+    ck.add_argument("--config", default="Rocket1")
+    ck.add_argument("--kernel", default="MM")
+    ck.add_argument("--scale", type=float, default=1.0)
+    ck.add_argument("--seed", type=int, default=0)
+    ck.add_argument("--quantum", type=int, default=4096)
+    ck.add_argument("--chunk", type=int, default=None,
+                    help="trace chunk per lane step (default: quantum/2)")
+    ck.add_argument("--at", type=int, default=8,
+                    help="save after this many quanta (0: run to the end)")
+    ck.add_argument("--cold", action="store_true", help="skip the warmup pass")
+    ck.add_argument("--out", default="repro.ckpt")
+    ck.add_argument("--info", default=None, metavar="FILE",
+                    help="verify + describe an existing checkpoint and exit")
+
+    rp = sub.add_parser("replay", help="resume a checkpoint to completion")
+    rp.add_argument("file")
+    rp.add_argument("--verify", action="store_true",
+                    help="also run uninterrupted from scratch and assert "
+                         "the results are bit-identical")
     return p
 
 
@@ -224,10 +269,20 @@ def main(argv: list[str] | None = None) -> int:
         kernel_names = ([k for k in args.kernels.split(",") if k]
                         if args.kernels
                         else [k.spec.name for k in runnable_kernels()])
-        jobs = [Job.kernel(get_config(c), k, scale=args.scale, seed=args.seed)
+        jobs = [Job.kernel(get_config(c), k, scale=args.scale, seed=args.seed,
+                           quantum=args.quantum)
                 for c in cfg_names for k in kernel_names]
         cache = (None if args.no_cache
                  else resolve_cache(args.cache_dir))
+        plan = None
+        if args.fault_plan:
+            from .reliability import FaultPlan
+
+            text = args.fault_plan
+            if text.startswith("@"):
+                with open(text[1:]) as f:
+                    text = f.read()
+            plan = FaultPlan.parse(text, seed=args.fault_seed)
 
         done = 0
         width = max(len(j.label) for j in jobs)
@@ -246,6 +301,8 @@ def main(argv: list[str] | None = None) -> int:
                 body = "cache hit"
             elif ev.kind == "failed":
                 body = f"FAILED: {ev.error}"
+            elif ev.kind == "interrupted":
+                body = "interrupted"
             else:
                 body = f"ok ({ev.elapsed_s:.2f}s, attempt {ev.attempt})"
             print(f"[{done:>{len(str(len(jobs)))}}/{len(jobs)}] "
@@ -253,7 +310,10 @@ def main(argv: list[str] | None = None) -> int:
 
         farm = RunFarm(workers=args.workers, cache=cache,
                        timeout_s=args.timeout, max_retries=args.retries,
-                       on_event=None if args.quiet else progress)
+                       on_event=None if args.quiet else progress,
+                       fault_plan=plan, checkpoint_dir=args.checkpoint_dir,
+                       checkpoint_every=args.checkpoint_every,
+                       manifest_path=args.manifest)
         results = farm.run(jobs)
         stats = farm.stats
 
@@ -282,14 +342,100 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"{r.job.label:<{width}}  "
                           f"{r.payload['cycles']:>12,} cycles  "
                           f"{r.payload['seconds'] * 1e6:>10.1f} us  [{src}]")
+                elif r.status == "interrupted":
+                    print(f"{r.job.label:<{width}}  interrupted")
                 else:
                     print(f"{r.job.label:<{width}}  FAILED: {r.error}")
+            extra = ""
+            for label, n in (("resumed", stats.resumed),
+                             ("quarantined", stats.corrupt),
+                             ("interrupted", stats.interrupted)):
+                if n:
+                    extra += f", {n} {label}"
             print(f"farm: {stats.ok}/{stats.jobs} ok, "
                   f"{stats.cache_hits} cache hit(s), "
                   f"{stats.simulated} simulated, {stats.retries} retried, "
-                  f"{stats.failed} failed "
+                  f"{stats.failed} failed{extra} "
                   f"({farm.workers} worker(s))")
-        return 0 if stats.failed == 0 else 1
+        return 0 if stats.failed == 0 and stats.interrupted == 0 else 1
+
+    if args.command == "checkpoint":
+        from .reliability import SimCheckpoint
+        from .soc.system import System
+        from .telemetry import StatsRegistry
+
+        if args.info:
+            ckpt = SimCheckpoint.load(args.info)  # verifies the digest
+            state = "bare snapshot" if ckpt.lanes is None else (
+                f"mid-run at quantum {ckpt.quanta}")
+            print(f"{args.info}: schema {ckpt.schema}, "
+                  f"config {ckpt.config_name} ({ckpt.config_fp[:12]}...), "
+                  f"{state}, digest {ckpt.digest[:16]}... (verified)")
+            for key in sorted(k for k in ckpt.extras if k != "baseline"):
+                print(f"  extras.{key} = {ckpt.extras[key]!r}")
+            return 0
+
+        kern = get_kernel(args.kernel)
+        scale = max(args.scale, kern.min_harness_scale)
+        trace = kern.build(scale=scale, seed=args.seed)
+        cfg = get_config(args.config)
+        system = System(cfg)
+        registry = StatsRegistry(system)
+        warmup = not args.cold and kern.needs_warmup
+        if warmup:
+            system.run(trace)
+        base = registry.snapshot()
+        chunk = args.chunk or max(1, args.quantum // 2)
+        run = system.start_parallel([trace], quantum=args.quantum, chunk=chunk)
+        while not run.done and (args.at <= 0 or run.quanta < args.at):
+            run.step()
+        ckpt = run.checkpoint(extras={
+            "kernel": kern.spec.name, "scale": scale, "seed": args.seed,
+            "warmup": warmup, "baseline": base.data,
+        })
+        ckpt.save(args.out)
+        print(f"saved {args.out}: {cfg.name}/{kern.spec.name} at quantum "
+              f"{ckpt.quanta} ({'finished' if run.done else 'mid-run'}), "
+              f"digest {ckpt.digest[:16]}...")
+        return 0
+
+    if args.command == "replay":
+        from .reliability import SimCheckpoint
+        from .soc.system import System
+
+        ckpt = SimCheckpoint.load(args.file)
+        meta = ckpt.extras
+        kern = get_kernel(meta["kernel"])
+        trace = kern.build(scale=meta["scale"], seed=meta["seed"])
+        cfg = get_config(ckpt.config_name)
+        system = System(cfg)
+        run = system.restore(ckpt, [trace])
+        if run is None:
+            print(f"{args.file}: bare snapshot restored onto {cfg.name} "
+                  "(no run to replay)")
+            return 0
+        start_q = run.quanta
+        run.run()
+        result = run.results()[0]
+        print(f"{cfg.name}/{meta['kernel']}: resumed at quantum {start_q}, "
+              f"finished at {run.quanta}: {result.cycles} cycles, "
+              f"{result.instructions} instructions, CPI {result.cpi:.3f}")
+        if args.verify:
+            import dataclasses as _dc
+
+            ref_sys = System(get_config(ckpt.config_name))
+            ref_trace = kern.build(scale=meta["scale"], seed=meta["seed"])
+            if meta.get("warmup"):
+                ref_sys.run(ref_trace)
+            ref = ref_sys.run_parallel(
+                [ref_trace], quantum=ckpt.scheduler["quantum"],
+                chunk=ckpt.lanes[0]["chunk"])[0]
+            if _dc.asdict(ref) == _dc.asdict(result):
+                print("verify: PASS (bit-identical to the uninterrupted run)")
+            else:
+                print("verify: FAIL (resumed run diverged!)")
+                return 1
+        return 0
 
     if args.command == "npb":
         res = NPB_RUNNERS[args.bench](get_config(args.config),

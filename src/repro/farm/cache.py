@@ -11,7 +11,11 @@ again.  Re-running a sweep therefore only simulates cache misses.
 Entries are one JSON file each, fanned out over 256 two-hex-digit
 subdirectories (git-object style) and written atomically
 (tempfile + ``os.replace``) so a crashed or concurrent writer can never
-leave a truncated entry behind; unreadable entries read as misses.
+leave a truncated entry behind.  A truncated, corrupt, or
+schema-mismatched entry found on *read* (disk damage, foreign writers,
+version skew) is moved to ``<cache>/corrupt/`` for post-mortem, counted
+in ``corrupt_quarantined``, and reported as a miss so the farm simply
+re-runs the job instead of crashing or serving garbage.
 """
 
 from __future__ import annotations
@@ -48,21 +52,64 @@ class ResultCache:
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = pathlib.Path(root)
+        #: corrupt entries quarantined by this instance (farm telemetry)
+        self.corrupt_quarantined = 0
 
     def path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> dict[str, Any] | None:
-        """Payload for *key*, or None on miss/corruption (never raises)."""
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / "corrupt"
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a damaged entry aside (never deletes evidence)."""
+        self.corrupt_quarantined += 1
+        dest = self.quarantine_dir / path.name
         try:
-            with open(self.path(key), "r", encoding="utf-8") as f:
-                entry = json.load(f)
-        except (OSError, ValueError):
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            dest.with_suffix(".reason").write_text(reason + "\n")
+        except OSError:
+            pass  # quarantine is best-effort; the miss already protects us
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Payload for *key*, or None on miss (never raises).
+
+        A present-but-invalid entry — unparsable JSON, wrong key, wrong
+        schema, malformed payload — is quarantined and reads as a miss.
+        """
+        path = self.path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None  # genuinely absent (or unreadable): a plain miss
+        reason = None
+        payload: dict[str, Any] | None = None
+        try:
+            entry = json.loads(blob.decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            reason = f"not UTF-8 (binary damage?): {exc}"
+            entry = None
+        except ValueError as exc:
+            reason = f"unparsable JSON (truncated?): {exc}"
+            entry = None
+        else:
+            if not isinstance(entry, dict):
+                reason = f"entry is {type(entry).__name__}, not an object"
+            elif entry.get("key") != key:
+                reason = f"key mismatch: entry claims {entry.get('key')!r}"
+            elif entry.get("schema") != CACHE_SCHEMA:
+                reason = (f"schema {entry.get('schema')!r} != "
+                          f"{CACHE_SCHEMA}")
+            elif not isinstance(entry.get("payload"), dict):
+                reason = "payload missing or not an object"
+            else:
+                payload = entry["payload"]
+        if reason is not None:
+            self._quarantine(path, reason)
             return None
-        if not isinstance(entry, dict) or entry.get("key") != key:
-            return None
-        payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        return payload
 
     def put(self, key: str, job: Job, payload: dict[str, Any]) -> None:
         """Store *payload* atomically; concurrent writers race benignly

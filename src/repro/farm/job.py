@@ -21,13 +21,37 @@ objects by the callers that want them.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 from ..soc.config import SoCConfig
 
-__all__ = ["Job", "JobResult", "JOB_KINDS", "execute_job"]
+__all__ = ["ExecContext", "Job", "JobResult", "JOB_KINDS", "execute_job",
+           "execute_job_meta"]
+
+
+@dataclass
+class ExecContext:
+    """Host-side execution context for one attempt of one job.
+
+    Everything here is *provenance*, never identity: a job's payload must
+    not depend on any of it (checkpoint resume is bit-identical, faults
+    only kill/delay, ``in_process`` only selects how a kill manifests).
+    """
+
+    #: injected fault for this (job, attempt), from a FaultPlan
+    fault: Any = None
+    #: directory for mid-run checkpoints (None: checkpointing off)
+    checkpoint_dir: str | os.PathLike | None = None
+    #: quanta between checkpoint saves
+    checkpoint_every: int = 8
+    #: True when running in the caller's process (serial mode)
+    in_process: bool = True
+    #: filled by the runner: {"resumed": bool, "checkpoints": int}
+    meta: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -57,11 +81,27 @@ class Job:
     @classmethod
     def kernel(cls, config: SoCConfig, name: str, scale: float = 1.0,
                seed: int = 0, warmup: bool = True,
-               timeout_s: float | None = None) -> "Job":
-        """A MicroBench kernel run (the fig1/fig2 inner loop)."""
+               timeout_s: float | None = None,
+               quantum: int | None = None,
+               chunk: int | None = None) -> "Job":
+        """A MicroBench kernel run (the fig1/fig2 inner loop).
+
+        With *quantum* set, the measured pass runs through the token
+        lockstep path in quanta of that many cycles — the execution mode
+        that supports mid-run checkpointing and farm resume.  Chunked
+        lockstep timing differs (legitimately) from the monolithic path,
+        so the quantum is part of the job's identity: compare and cache
+        only runs with identical execution options.  ``chunk`` defaults
+        to ``quantum // 2``.
+        """
+        params: list[tuple[str, Any]] = [
+            ("scale", float(scale)), ("warmup", bool(warmup))]
+        if quantum is not None:
+            params.append(("quantum", int(quantum)))
+            if chunk is not None:
+                params.append(("chunk", int(chunk)))
         return cls(config=config, kind="kernel", workload=name, seed=seed,
-                   params=(("scale", float(scale)), ("warmup", bool(warmup))),
-                   timeout_s=timeout_s)
+                   params=tuple(sorted(params)), timeout_s=timeout_s)
 
     @classmethod
     def npb(cls, config: SoCConfig, benchmark: str, ranks: int = 1,
@@ -124,12 +164,14 @@ class JobResult:
 
     job: Job
     index: int                  #: position in the submitted job list
-    status: str = "ok"          #: "ok" | "failed"
+    status: str = "ok"          #: "ok" | "failed" | "interrupted"
     payload: dict[str, Any] | None = None
     attempts: int = 0           #: executions performed (0 for a cache hit)
     from_cache: bool = False
-    error: str | None = None    #: last error when status == "failed"
+    error: str | None = None    #: last error when status != "ok"
     elapsed_s: float = 0.0      #: host wall-clock of the final attempt
+    #: final successful attempt resumed from a mid-run checkpoint
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -147,13 +189,26 @@ class JobResult:
 # -- runners ----------------------------------------------------------------
 
 
-def _run_kernel_job(job: Job, attempt: int) -> dict[str, Any]:
+def _checkpoint_file(job: Job, ctx: ExecContext) -> Path | None:
+    if ctx.checkpoint_dir is None:
+        return None
+    from .cache import cache_key
+    return Path(ctx.checkpoint_dir) / f"{cache_key(job)}.ckpt"
+
+
+def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     """Replicate :func:`repro.workloads.microbench.run_kernel` exactly
     (same scale clamp, same warmup pass) and add the telemetry capture
     that `repro stats` performs, so one farmed run yields cycles,
-    counters, and the CPI stack in a single simulation."""
+    counters, and the CPI stack in a single simulation.
+
+    Jobs carrying a ``quantum`` param run the measured pass through the
+    lockstep path; with ``ctx.checkpoint_dir`` set, that pass saves a
+    checkpoint every ``ctx.checkpoint_every`` quanta and a later attempt
+    resumes from it bit-identically instead of restarting from zero.
+    """
     from ..soc.system import System
-    from ..telemetry import StatsRegistry, cpi_stack
+    from ..telemetry import StatsRegistry, Snapshot, cpi_stack
     from ..workloads.microbench import get_kernel
 
     kern = get_kernel(job.workload)
@@ -164,13 +219,57 @@ def _run_kernel_job(job: Job, attempt: int) -> dict[str, Any]:
     trace = kern.build(scale=scale, seed=job.seed)
     system = System(cfg)
     registry = StatsRegistry(system)
-    if job.param("warmup", True) and kern.needs_warmup:
-        system.run(trace)
-    base = registry.snapshot()
-    result = system.run(trace)
+    quantum = job.param("quantum")
+
+    if quantum is None:
+        if job.param("warmup", True) and kern.needs_warmup:
+            system.run(trace)
+        base = registry.snapshot()
+        result = system.run(trace)
+    else:
+        quantum = int(quantum)
+        chunk = int(job.param("chunk", max(1, quantum // 2)))
+        ckpt_file = _checkpoint_file(job, ctx)
+        run = base = None
+        if ckpt_file is not None and ckpt_file.exists():
+            from ..reliability.checkpoint import CheckpointError, SimCheckpoint
+            try:
+                ckpt = SimCheckpoint.load(ckpt_file)
+                run = system.restore(ckpt, [trace])
+                base = Snapshot(ckpt.extras["baseline"])
+                ctx.meta["resumed"] = True
+            except (CheckpointError, KeyError):
+                run = base = None  # unusable checkpoint: start over
+        if run is None:
+            if job.param("warmup", True) and kern.needs_warmup:
+                system.run(trace)
+            base = registry.snapshot()
+            run = system.start_parallel([trace], quantum=quantum, chunk=chunk)
+        fault = ctx.fault
+        kill_after = (int(fault.param("after"))
+                      if (fault is not None and fault.kind == "kill"
+                          and fault.param("after") is not None) else None)
+        while True:
+            alive = run.step()
+            if (ckpt_file is not None and run.quanta > 0
+                    and run.quanta % ctx.checkpoint_every == 0):
+                run.checkpoint(extras={"baseline": base.data}).save(ckpt_file)
+                ctx.meta["checkpoints"] = ctx.meta.get("checkpoints", 0) + 1
+            if kill_after is not None and run.quanta >= kill_after:
+                from ..reliability.faults import apply_worker_fault
+                apply_worker_fault(fault, in_process=ctx.in_process)
+            if not alive:
+                break
+        result = run.results()[0]
+        if ckpt_file is not None:
+            try:
+                ckpt_file.unlink()
+            except OSError:
+                pass
+
     delta = registry.delta(base)
     stack = cpi_stack(system, result, delta)
-    return {
+    payload: dict[str, Any] = {
         "kind": "kernel",
         "config": cfg.name,
         "workload": kern.spec.name,
@@ -188,9 +287,12 @@ def _run_kernel_job(job: Job, attempt: int) -> dict[str, Any]:
         "telemetry": delta.data,
         "cpi": [stack.to_dict()],
     }
+    if quantum is not None:
+        payload["quantum"] = quantum
+    return payload
 
 
-def _run_npb_job(job: Job, attempt: int) -> dict[str, Any]:
+def _run_npb_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     from ..workloads.npb import NPB_RUNNERS
 
     res = NPB_RUNNERS[job.workload](job.config, nranks=job.ranks,
@@ -220,10 +322,13 @@ def _run_npb_job(job: Job, attempt: int) -> dict[str, Any]:
     }
 
 
-def _run_selftest_job(job: Job, attempt: int) -> dict[str, Any]:
+def _run_selftest_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     mode = job.workload
     if mode == "raise":
         raise RuntimeError("selftest: injected failure")
+    if mode == "interrupt":
+        # stands in for the operator's Ctrl-C / SIGTERM in shutdown tests
+        raise KeyboardInterrupt("selftest: injected interrupt")
     if mode == "hang":
         time.sleep(float(job.param("sleep_s", 60.0)))
     elif mode == "flaky" and attempt <= int(job.param("fail_times", 1)):
@@ -235,18 +340,40 @@ def _run_selftest_job(job: Job, attempt: int) -> dict[str, Any]:
 
 #: job kind -> runner; the registry makes kinds pluggable without the
 #: scheduler knowing workload specifics
-JOB_KINDS: dict[str, Callable[[Job, int], dict[str, Any]]] = {
+JOB_KINDS: dict[str, Callable[[Job, int, ExecContext], dict[str, Any]]] = {
     "kernel": _run_kernel_job,
     "npb": _run_npb_job,
     "selftest": _run_selftest_job,
 }
 
 
-def execute_job(job: Job, attempt: int = 1) -> dict[str, Any]:
+def execute_job_meta(job: Job, attempt: int = 1,
+                     ctx: ExecContext | None = None,
+                     ) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run one job; returns ``(payload, meta)``.
+
+    The payload depends only on the job (the determinism contract); meta
+    is host-side provenance — whether the attempt resumed from a
+    checkpoint, how many checkpoints it wrote.  Worker faults without an
+    ``after=`` parameter fire here, before the workload starts.
+    """
+    ctx = ctx if ctx is not None else ExecContext()
+    fault = ctx.fault
+    if fault is not None and (fault.kind in ("hang", "error")
+                              or (fault.kind == "kill"
+                                  and fault.param("after") is None)):
+        from ..reliability.faults import apply_worker_fault
+        apply_worker_fault(fault, in_process=ctx.in_process)
+    payload = JOB_KINDS[job.kind](job, attempt, ctx)
+    return payload, dict(ctx.meta)
+
+
+def execute_job(job: Job, attempt: int = 1,
+                ctx: ExecContext | None = None) -> dict[str, Any]:
     """Run one job to completion in the calling process.
 
     The single execution path shared by serial mode and every pool
     worker; *attempt* is 1-based and only consulted by fault-injection
     jobs (real workloads must not depend on it, or determinism breaks).
     """
-    return JOB_KINDS[job.kind](job, attempt)
+    return execute_job_meta(job, attempt=attempt, ctx=ctx)[0]

@@ -23,15 +23,19 @@ preemptive timeouts.
 from __future__ import annotations
 
 import dataclasses
+import json
 import multiprocessing
 import os
+import pathlib
+import signal
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..telemetry import Snapshot
 from .cache import ResultCache, cache_key
-from .job import Job, JobResult, execute_job
+from .job import ExecContext, Job, JobResult, execute_job_meta
 
 __all__ = [
     "FARM_SCHEMA",
@@ -83,6 +87,9 @@ class FarmStats:
     errors: int = 0         #: attempts that raised in the workload
     timeouts: int = 0       #: attempts killed by the per-job timeout
     crashes: int = 0        #: workers that died without reporting
+    corrupt: int = 0        #: cache entries quarantined as corrupt
+    resumed: int = 0        #: attempts resumed from a mid-run checkpoint
+    interrupted: int = 0    #: jobs abandoned by a graceful shutdown
 
     def to_snapshot(self) -> Snapshot:
         """Counters as a :class:`repro.telemetry.Snapshot` (flat/JSON/CSV
@@ -95,7 +102,8 @@ class FarmStats:
 class FarmEvent:
     """One progress notification (job picked up, finished, retried...)."""
 
-    kind: str               #: "cache-hit" | "start" | "ok" | "retry" | "failed"
+    kind: str               #: "cache-hit" | "start" | "ok" | "retry" |
+                            #: "failed" | "interrupted"
     index: int              #: job position in the submitted list
     total: int
     job: Job
@@ -117,12 +125,13 @@ class _Running:
         self.started = time.monotonic()
 
 
-def _worker_main(conn, job: Job, attempt: int) -> None:
-    """Child entry point: run one job, report ("ok", payload) or
+def _worker_main(conn, job: Job, attempt: int,
+                 ctx: ExecContext | None = None) -> None:
+    """Child entry point: run one job, report ("ok", payload, meta) or
     ("error", message) over the pipe, exit."""
     try:
-        payload = execute_job(job, attempt=attempt)
-        conn.send(("ok", payload))
+        payload, meta = execute_job_meta(job, attempt=attempt, ctx=ctx)
+        conn.send(("ok", payload, meta))
     except BaseException as exc:  # report, don't let the child unwind noisily
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -159,29 +168,65 @@ class RunFarm:
         (capped at 2 s) before going back on a worker.
     on_event:
         Optional ``Callable[[FarmEvent], None]`` for live progress.
+    fault_plan:
+        Optional :class:`repro.reliability.FaultPlan`; worker faults
+        (kill/hang/error) are delivered to the matching (job index,
+        attempt), cache faults damage entries before the preload pass.
+    checkpoint_dir:
+        Directory for mid-run job checkpoints.  Lockstep kernel jobs
+        (built with ``Job.kernel(..., quantum=...)``) save a checkpoint
+        every ``checkpoint_every`` quanta there, and a retry of a
+        crashed/timed-out job **resumes from the last checkpoint**
+        (bit-identically) instead of restarting from zero — still
+        bounded by ``max_retries``.
+    manifest_path:
+        When set, a JSON manifest of per-job outcomes and farm stats is
+        written there after every run — including a partial one cut
+        short by Ctrl-C/SIGTERM.
     """
 
     def __init__(self, workers: int | None = None,
                  cache: ResultCache | str | os.PathLike | None = None,
                  timeout_s: float | None = None, max_retries: int = 2,
                  backoff_s: float = 0.25,
-                 on_event: Callable[[FarmEvent], None] | None = None) -> None:
+                 on_event: Callable[[FarmEvent], None] | None = None,
+                 fault_plan=None,
+                 checkpoint_dir: str | os.PathLike | None = None,
+                 checkpoint_every: int = 8,
+                 manifest_path: str | os.PathLike | None = None) -> None:
         self.workers = resolve_workers(workers)
         self.cache = resolve_cache(cache)
         self.timeout_s = timeout_s
         self.max_retries = max(0, int(max_retries))
         self.backoff_s = max(0.0, float(backoff_s))
         self.on_event = on_event
+        self.fault_plan = fault_plan
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.manifest_path = manifest_path
         self.stats = FarmStats()
+        #: True when the last run was cut short by Ctrl-C / SIGTERM
+        self.interrupted = False
 
     # -- public API ----------------------------------------------------------
 
     def run(self, jobs: Iterable[Job]) -> list[JobResult]:
-        """Run every job; returns results in submission order."""
+        """Run every job; returns results in submission order.
+
+        A ``KeyboardInterrupt`` or SIGTERM mid-run shuts down gracefully:
+        in-flight results are kept, workers are reaped, the remaining
+        jobs are reported with status ``"interrupted"``, and the manifest
+        (if configured) records the partial sweep.
+        """
         jobs = list(jobs)
         self.stats = stats = FarmStats(jobs=len(jobs))
         results: list[JobResult | None] = [None] * len(jobs)
         self._total = len(jobs)
+        self.interrupted = False
+        corrupt_before = (self.cache.corrupt_quarantined
+                          if self.cache is not None else 0)
+        if self.fault_plan is not None and self.cache is not None:
+            self._apply_cache_faults(jobs)
 
         todo: list[tuple[int, str | None]] = []
         for i, job in enumerate(jobs):
@@ -198,22 +243,38 @@ class RunFarm:
                     stats.cache_misses += 1
                 todo.append((i, key))
 
-        if todo:
-            if self.workers > 1 and len(todo) > 1:
-                try:
-                    self._run_parallel(jobs, todo, results)
-                except OSError:
-                    # pool unavailable (fd limits, sandboxed fork, ...):
-                    # degrade to in-process execution of whatever is left
-                    left = [(i, k) for i, k in todo if results[i] is None]
-                    self._run_serial(jobs, left, results)
-            else:
-                self._run_serial(jobs, todo, results)
+        restore_handler = self._install_sigterm()
+        try:
+            if todo:
+                if self.workers > 1 and len(todo) > 1:
+                    try:
+                        self._run_parallel(jobs, todo, results)
+                    except OSError:
+                        # pool unavailable (fd limits, sandboxed fork, ...):
+                        # degrade to in-process execution of whatever is left
+                        left = [(i, k) for i, k in todo if results[i] is None]
+                        self._run_serial(jobs, left, results)
+                else:
+                    self._run_serial(jobs, todo, results)
+        except KeyboardInterrupt:
+            self.interrupted = True
+        finally:
+            restore_handler()
 
+        for i, job in enumerate(jobs):
+            if results[i] is None:
+                stats.interrupted += 1
+                results[i] = JobResult(
+                    job=job, index=i, status="interrupted",
+                    error="farm shut down before this job finished")
+                self._emit("interrupted", i, job)
         out = [r for r in results if r is not None]
         assert len(out) == len(jobs), "scheduler lost a job"
         stats.ok = sum(1 for r in out if r.ok)
-        stats.failed = len(out) - stats.ok
+        stats.failed = len(out) - stats.ok - stats.interrupted
+        if self.cache is not None:
+            stats.corrupt = self.cache.corrupt_quarantined - corrupt_before
+        self._write_manifest(out)
         return out
 
     # -- shared plumbing -----------------------------------------------------
@@ -228,15 +289,88 @@ class RunFarm:
     def _job_timeout(self, job: Job) -> float | None:
         return job.timeout_s if job.timeout_s is not None else self.timeout_s
 
+    def _exec_ctx(self, index: int, attempt: int, *,
+                  in_process: bool) -> ExecContext:
+        """Per-attempt execution context (fault + checkpoint policy)."""
+        fault = (self.fault_plan.worker_fault(index, attempt)
+                 if self.fault_plan is not None else None)
+        return ExecContext(fault=fault,
+                           checkpoint_dir=self.checkpoint_dir,
+                           checkpoint_every=self.checkpoint_every,
+                           in_process=in_process)
+
+    def _install_sigterm(self) -> Callable[[], None]:
+        """Route SIGTERM into KeyboardInterrupt for the graceful-shutdown
+        path; returns a restorer.  No-op off the main thread (signal
+        handlers can only be installed there)."""
+
+        def _to_interrupt(signum, frame):
+            raise KeyboardInterrupt("SIGTERM")
+
+        try:
+            previous = signal.signal(signal.SIGTERM, _to_interrupt)
+        except ValueError:  # not the main thread
+            return lambda: None
+        return lambda: signal.signal(signal.SIGTERM, previous)
+
+    def _apply_cache_faults(self, jobs: Sequence[Job]) -> None:
+        """Damage on-disk cache entries named by the fault plan (chaos
+        testing the quarantine path)."""
+        from ..reliability.faults import corrupt_cache_entry
+        rng = self.fault_plan.rng()
+        for fault in self.fault_plan.cache_faults():
+            index = fault.param("entry", fault.param("job"))
+            if index is None or not 0 <= int(index) < len(jobs):
+                continue
+            job = jobs[int(index)]
+            if not job.cacheable:
+                continue
+            mode = ("truncate" if fault.kind == "truncate-cache"
+                    else str(fault.param("mode", "garbage")))
+            corrupt_cache_entry(self.cache, cache_key(job), mode=mode,
+                                rng=rng)
+
+    def _write_manifest(self, results: Sequence[JobResult]) -> None:
+        if self.manifest_path is None:
+            return
+        path = pathlib.Path(self.manifest_path)
+        doc = {
+            "schema": FARM_SCHEMA,
+            "interrupted": self.interrupted,
+            "stats": dataclasses.asdict(self.stats),
+            "jobs": [
+                {"index": r.index, "label": r.job.label, "status": r.status,
+                 "attempts": r.attempts, "from_cache": r.from_cache,
+                 "resumed": r.resumed, "error": r.error,
+                 "elapsed_s": round(r.elapsed_s, 6)}
+                for r in results
+            ],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(doc, f, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def _complete(self, results, index: int, job: Job, key: str | None,
                   payload: dict[str, Any], attempts: int,
-                  elapsed_s: float) -> None:
+                  elapsed_s: float, meta: dict | None = None) -> None:
         self.stats.simulated += 1
+        resumed = bool(meta and meta.get("resumed"))
+        if resumed:
+            self.stats.resumed += 1
         if key is not None and self.cache is not None:
             self.cache.put(key, job, payload)
         results[index] = JobResult(job=job, index=index, status="ok",
                                    payload=payload, attempts=attempts,
-                                   elapsed_s=elapsed_s)
+                                   elapsed_s=elapsed_s, resumed=resumed)
         self._emit("ok", index, job, attempt=attempts, elapsed_s=elapsed_s)
 
     def _fail(self, results, index: int, job: Job, attempts: int,
@@ -259,7 +393,9 @@ class RunFarm:
                 self._emit("start", index, job, attempt=attempt)
                 t0 = time.monotonic()
                 try:
-                    payload = execute_job(job, attempt=attempt)
+                    payload, meta = execute_job_meta(
+                        job, attempt=attempt,
+                        ctx=self._exec_ctx(index, attempt, in_process=True))
                 except Exception as exc:
                     error = f"{type(exc).__name__}: {exc}"
                     self.stats.errors += 1
@@ -272,7 +408,8 @@ class RunFarm:
                 else:
                     self._complete(results, index, job, key, payload,
                                    attempts=attempt,
-                                   elapsed_s=time.monotonic() - t0)
+                                   elapsed_s=time.monotonic() - t0,
+                                   meta=meta)
                     break
             else:
                 self._fail(results, index, job,
@@ -301,8 +438,10 @@ class RunFarm:
 
         def launch(index: int, key: str | None, attempt: int) -> None:
             recv, send = ctx.Pipe(duplex=False)
+            exec_ctx = self._exec_ctx(index, attempt, in_process=False)
             proc = ctx.Process(target=_worker_main,
-                               args=(send, jobs[index], attempt), daemon=True)
+                               args=(send, jobs[index], attempt, exec_ctx),
+                               daemon=True)
             proc.start()
             send.close()
             running[index] = _Running(proc, recv, key, attempt)
@@ -345,15 +484,20 @@ class RunFarm:
                 for index in list(running):
                     r = running[index]
                     if r.conn.poll():
+                        meta: dict | None = None
                         try:
-                            status, data = r.conn.recv()
+                            msg = r.conn.recv()
+                            status, data = msg[0], msg[1]
+                            if len(msg) > 2:
+                                meta = msg[2]
                         except (EOFError, OSError):
                             status, data = "error", "worker pipe closed early"
                         reap(index)
                         if status == "ok":
                             self._complete(results, index, jobs[index], r.key,
                                            data, attempts=r.attempt,
-                                           elapsed_s=now - r.started)
+                                           elapsed_s=now - r.started,
+                                           meta=meta)
                         else:
                             self.stats.errors += 1
                             retry_or_fail(index, r, str(data))
@@ -387,6 +531,10 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
              timeout_s: float | None = None, max_retries: int = 2,
              backoff_s: float = 0.25,
              on_event: Callable[[FarmEvent], None] | None = None,
+             fault_plan=None,
+             checkpoint_dir: str | os.PathLike | None = None,
+             checkpoint_every: int = 8,
+             manifest_path: str | os.PathLike | None = None,
              strict: bool = False) -> list[JobResult]:
     """One-call convenience: build a :class:`RunFarm`, run *jobs*.
 
@@ -396,7 +544,10 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
     """
     farm = RunFarm(workers=workers, cache=cache, timeout_s=timeout_s,
                    max_retries=max_retries, backoff_s=backoff_s,
-                   on_event=on_event)
+                   on_event=on_event, fault_plan=fault_plan,
+                   checkpoint_dir=checkpoint_dir,
+                   checkpoint_every=checkpoint_every,
+                   manifest_path=manifest_path)
     results = farm.run(jobs)
     if strict:
         failed = [r for r in results if not r.ok]

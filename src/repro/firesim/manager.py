@@ -100,7 +100,11 @@ class FireSimManager:
                   seed: int = 0, *, workers: int | None = None,
                   cache=None, timeout_s: float | None = None,
                   max_retries: int = 2,
-                  on_event: Callable | None = None) -> list[SimulationReport]:
+                  on_event: Callable | None = None,
+                  quantum: int | None = None,
+                  fault_plan=None,
+                  checkpoint_dir=None, checkpoint_every: int = 8,
+                  manifest_path=None) -> list[SimulationReport]:
         """Farm a batch of MicroBench kernels for this design.
 
         The batch entry point mirrors ``firesim runworkload``: each
@@ -111,13 +115,24 @@ class FireSimManager:
         CPI stack included — bit-identical to running each kernel
         serially.  Farm counters land on :attr:`farm_stats`.  Any job
         that still fails after its retries raises.
+
+        With *quantum* set, each kernel runs through the token-lockstep
+        path in quanta of that many cycles; combined with
+        *checkpoint_dir* that makes every job checkpointable, so a
+        crashed/killed/timed-out worker's retry resumes mid-run instead
+        of restarting (see :mod:`repro.reliability`).  *fault_plan*
+        injects deterministic chaos for testing that machinery.
         """
         from ..farm import Job, RunFarm
 
-        jobs = [Job.kernel(self.config, name, scale=scale, seed=seed)
+        jobs = [Job.kernel(self.config, name, scale=scale, seed=seed,
+                           quantum=quantum)
                 for name in kernels]
         farm = RunFarm(workers=workers, cache=cache, timeout_s=timeout_s,
-                       max_retries=max_retries, on_event=on_event)
+                       max_retries=max_retries, on_event=on_event,
+                       fault_plan=fault_plan, checkpoint_dir=checkpoint_dir,
+                       checkpoint_every=checkpoint_every,
+                       manifest_path=manifest_path)
         results = farm.run(jobs)
         self.farm_stats = farm.stats
         failed = [r for r in results if not r.ok]

@@ -1,0 +1,507 @@
+"""Versioned, content-hashed simulation checkpoints.
+
+FireSim survives multi-hour FPGA runs by snapshotting target state and
+replaying deterministically from the snapshot; this module is the
+reproduction's equivalent for :class:`repro.soc.System`.  A
+:class:`SimCheckpoint` captures every piece of mutable simulation state —
+tile pipelines, branch predictors, caches/TLBs/LLC/DRAM/bus/directory,
+lockstep-scheduler position, token channels, and partial per-lane
+results — at a quantum boundary, so a resumed ``run_parallel`` produces
+**bit-identical** :class:`~repro.core.base.CoreResult`\\ s to an
+uninterrupted run.
+
+Design notes:
+
+* ``System`` holds lambdas (page-walkers, the per-tile uncore shim), so
+  it is neither picklable nor safely deep-copyable.  Capture therefore
+  walks each component's ``__dict__`` explicitly and restore applies the
+  captured values **in place** onto the existing component objects —
+  component identity never changes, which preserves the shared
+  references (LLC slices → DRAM channels, walker closures → L2).
+* Checkpoints are self-verifying: a sha-256 digest over the pickled
+  payload detects torn/corrupted files, a config fingerprint refuses
+  restores onto a mismatched topology, and :func:`audit_checkpoint`
+  checks physical invariants (token conservation, monotonic lane clocks,
+  cache tag uniqueness, dirty ⊆ valid, TLB set bounds) on every restore.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import pickle
+import tempfile
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "CheckpointAuditError",
+    "SimCheckpoint",
+    "audit_checkpoint",
+    "capture_system",
+    "restore_system",
+    "config_fingerprint",
+    "trace_fingerprint",
+]
+
+#: bump when the capture layout below changes incompatibly
+CHECKPOINT_SCHEMA = 1
+
+_PICKLE_PROTOCOL = 4  # fixed so digests are stable across interpreters
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be created, read, or applied."""
+
+
+class CheckpointAuditError(CheckpointError):
+    """A checkpoint failed its invariant audit.
+
+    ``problems`` lists every violated invariant (the audit does not stop
+    at the first failure).
+    """
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = list(problems)
+        lines = "\n".join(f"  - {p}" for p in self.problems)
+        super().__init__(
+            f"checkpoint failed invariant audit "
+            f"({len(self.problems)} problem(s)):\n{lines}")
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def config_fingerprint(cfg) -> str:
+    """sha-256 over the canonical JSON of a (frozen dataclass) config."""
+    blob = json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def trace_fingerprint(trace) -> str:
+    """sha-256 over a Trace's column arrays (content identity)."""
+    h = hashlib.sha256()
+    for name in trace.__slots__:
+        arr = np.ascontiguousarray(getattr(trace, name))
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+# -- component state capture --------------------------------------------------
+
+#: attribute names never captured: configs/wiring, not mutable sim state
+_WIRING = {"cfg", "name", "next_level", "port", "bru", "uncore", "cache",
+           "tile_id", "prefetcher", "_walker"}
+
+
+def _grab(obj) -> dict[str, Any]:
+    """Deep-copy every mutable (non-wiring, non-callable) attribute."""
+    out: dict[str, Any] = {}
+    for k, v in vars(obj).items():
+        if k in _WIRING or callable(v):
+            continue
+        out[k] = copy.deepcopy(v)
+    return out
+
+
+def _apply(obj, state: dict[str, Any]) -> None:
+    """Write captured state back onto an existing object, in place.
+
+    Values are deep-copied on the way in so one checkpoint can be
+    restored into several systems without aliasing live state.
+    """
+    for k, v in state.items():
+        if not hasattr(obj, k):
+            raise CheckpointError(
+                f"checkpoint state key {k!r} does not exist on "
+                f"{type(obj).__name__}; schema drift?")
+        setattr(obj, k, copy.deepcopy(v))
+
+
+def capture_system(system) -> dict:
+    """Capture the full mutable state tree of a :class:`repro.soc.System`."""
+    tiles = []
+    for tile in system.tiles:
+        port = tile.port
+        tiles.append({
+            "core": _grab(tile.core),
+            "bru": _grab(tile.core.bru),
+            "l1i": _grab(port.l1i),
+            "l1d": _grab(port.l1d),
+            "itlb": _grab(port.itlb),
+            "dtlb": _grab(port.dtlb),
+            "prefetch": _grab(port.prefetcher) if port.prefetcher else None,
+        })
+    unc = system.uncore
+    return {
+        "tiles": tiles,
+        "uncore": {
+            "l2": _grab(unc.l2),
+            "bus": _grab(unc.bus),
+            "directory": _grab(unc.directory) if unc.directory else None,
+            "drams": [_grab(d) for d in unc.drams],
+            "llc": ([_grab(s) for s in unc.llc.slices]
+                    if unc.llc is not None else None),
+        },
+    }
+
+
+def restore_system(system, state: dict) -> None:
+    """Apply a :func:`capture_system` tree onto *system*, in place."""
+    tiles = state["tiles"]
+    if len(tiles) != len(system.tiles):
+        raise CheckpointError(
+            f"checkpoint has {len(tiles)} tiles, system has "
+            f"{len(system.tiles)}")
+    for tile, ts in zip(system.tiles, tiles):
+        port = tile.port
+        _apply(tile.core, ts["core"])
+        _apply(tile.core.bru, ts["bru"])
+        _apply(port.l1i, ts["l1i"])
+        _apply(port.l1d, ts["l1d"])
+        _apply(port.itlb, ts["itlb"])
+        _apply(port.dtlb, ts["dtlb"])
+        if (ts["prefetch"] is None) != (port.prefetcher is None):
+            raise CheckpointError("prefetcher presence mismatch")
+        if ts["prefetch"] is not None:
+            _apply(port.prefetcher, ts["prefetch"])
+    unc = system.uncore
+    ustate = state["uncore"]
+    _apply(unc.l2, ustate["l2"])
+    _apply(unc.bus, ustate["bus"])
+    if (ustate["directory"] is None) != (unc.directory is None):
+        raise CheckpointError("coherence directory presence mismatch")
+    if ustate["directory"] is not None:
+        _apply(unc.directory, ustate["directory"])
+    if len(ustate["drams"]) != len(unc.drams):
+        raise CheckpointError(
+            f"checkpoint has {len(ustate['drams'])} DRAM channels, system "
+            f"has {len(unc.drams)}")
+    for dram, ds in zip(unc.drams, ustate["drams"]):
+        _apply(dram, ds)
+    if (ustate["llc"] is None) != (unc.llc is None):
+        raise CheckpointError("LLC presence mismatch")
+    if ustate["llc"] is not None:
+        if len(ustate["llc"]) != len(unc.llc.slices):
+            raise CheckpointError("LLC slice count mismatch")
+        for sl, ss in zip(unc.llc.slices, ustate["llc"]):
+            _apply(sl, ss)
+
+
+# -- invariant audit ----------------------------------------------------------
+
+
+def _audit_cache(label: str, cs: dict, problems: list[str]) -> None:
+    tags = cs.get("_tags")
+    dirty = cs.get("_dirty")
+    if tags is None:
+        return
+    valid = tags != -1
+    for s in range(tags.shape[0]):
+        row = tags[s][valid[s]]
+        if len(row) != len(np.unique(row)):
+            problems.append(
+                f"{label}: duplicate valid tag in set {s} "
+                f"(cache line corruption)")
+    if dirty is not None and bool(np.any(dirty & ~valid)):
+        problems.append(f"{label}: dirty bit set on an invalid way")
+
+
+def _audit_tlb(label: str, ts: dict, problems: list[str]) -> None:
+    if "_sets" in ts:  # single-level TLB
+        assoc = ts.get("_assoc")
+        for s, entries in enumerate(ts["_sets"]):
+            if assoc is not None and len(entries) > assoc:
+                problems.append(
+                    f"{label}: set {s} holds {len(entries)} entries "
+                    f"(assoc {assoc})")
+    else:  # TwoLevelTLB captured as whole TLB objects
+        for lvl in ("l1", "l2"):
+            tlb = ts.get(lvl)
+            if tlb is None:
+                continue
+            for s, entries in enumerate(tlb._sets):
+                if len(entries) > tlb._assoc:
+                    problems.append(
+                        f"{label}.{lvl}: set {s} holds {len(entries)} "
+                        f"entries (assoc {tlb._assoc})")
+
+
+def audit_checkpoint(ckpt: "SimCheckpoint", system=None) -> list[str]:
+    """Check a checkpoint's physical invariants; returns all problems.
+
+    Invariants: schema match, (optional) config fingerprint vs *system*,
+    token conservation on every channel, monotonic non-negative lane
+    clocks with offsets inside the trace, per-set cache tag uniqueness,
+    dirty ⊆ valid, and TLB set occupancy within associativity.
+    """
+    problems: list[str] = []
+    if ckpt.schema != CHECKPOINT_SCHEMA:
+        problems.append(
+            f"schema {ckpt.schema} != supported {CHECKPOINT_SCHEMA}")
+    if system is not None:
+        fp = config_fingerprint(system.cfg)
+        if fp != ckpt.config_fp:
+            problems.append(
+                f"config fingerprint mismatch: checkpoint is for "
+                f"{ckpt.config_name!r}, system is {system.cfg.name!r}")
+
+    sched = ckpt.scheduler
+    if sched is not None:
+        total = 0
+        for i, ch in enumerate(sched.get("channels", [])):
+            produced, consumed = int(ch["produced"]), int(ch["consumed"])
+            if produced != consumed:
+                problems.append(
+                    f"token channel {i}: produced {produced} != consumed "
+                    f"{consumed} at quantum boundary (token leak)")
+            if consumed > produced:
+                problems.append(
+                    f"token channel {i}: consumed {consumed} exceeds "
+                    f"produced {produced}")
+            total += produced
+        if total != int(sched.get("quanta", 0)):
+            problems.append(
+                f"token conservation: {total} tokens across channels != "
+                f"{sched.get('quanta')} scheduler quanta")
+        live = set(sched.get("live", []))
+    else:
+        live = set()
+
+    if ckpt.lanes is not None:
+        for i, lane in enumerate(ckpt.lanes):
+            t = int(lane["local_time"])
+            off, n = int(lane["offset"]), int(lane["trace_len"])
+            if t < 0:
+                problems.append(f"lane {i}: negative local time {t}")
+            if not 0 <= off <= n:
+                problems.append(
+                    f"lane {i}: offset {off} outside trace [0, {n}]")
+            if i not in live and off != n:
+                problems.append(
+                    f"lane {i}: marked done at offset {off} of {n}")
+            res = lane.get("result")
+            if res is not None and (res["cycles"] < 0
+                                    or res["instructions"] < 0):
+                problems.append(f"lane {i}: negative partial result")
+
+    for t, ts in enumerate(ckpt.state.get("tiles", [])):
+        _audit_cache(f"tile{t}.l1i", ts["l1i"], problems)
+        _audit_cache(f"tile{t}.l1d", ts["l1d"], problems)
+        _audit_tlb(f"tile{t}.itlb", ts["itlb"], problems)
+        _audit_tlb(f"tile{t}.dtlb", ts["dtlb"], problems)
+    ustate = ckpt.state.get("uncore", {})
+    if ustate:
+        _audit_cache("l2", ustate["l2"], problems)
+        for i, ss in enumerate(ustate["llc"] or []):
+            _audit_cache(f"llc{i}", ss, problems)
+    return problems
+
+
+# -- content hashing ----------------------------------------------------------
+
+
+def _digest_update(h, obj) -> None:
+    """Feed *obj* into hash *h* by structure, not by pickle bytes."""
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"I" + str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"F" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        h.update(b"S" + obj.encode())
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"A" + str(arr.dtype).encode() + repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, (list, tuple, deque)):
+        h.update(b"L" + str(len(obj)).encode())
+        for v in obj:
+            _digest_update(h, v)
+    elif isinstance(obj, dict):
+        # insertion order is state (OrderedDict = LRU order in TLBs)
+        h.update(b"D" + str(len(obj)).encode())
+        for k, v in obj.items():
+            _digest_update(h, k)
+            _digest_update(h, v)
+    elif dataclasses.is_dataclass(obj):
+        h.update(b"C" + type(obj).__name__.encode())
+        for f in dataclasses.fields(obj):
+            h.update(f.name.encode())
+            _digest_update(h, getattr(obj, f.name))
+    elif hasattr(obj, "__dict__"):
+        h.update(b"O" + type(obj).__name__.encode())
+        for k in sorted(vars(obj)):
+            h.update(k.encode())
+            _digest_update(h, vars(obj)[k])
+    elif hasattr(obj, "__slots__"):
+        h.update(b"O" + type(obj).__name__.encode())
+        for k in obj.__slots__:
+            h.update(k.encode())
+            _digest_update(h, getattr(obj, k))
+    else:
+        # opaque leaf (e.g. np.random.Generator): lone-object pickle is
+        # deterministic enough — no cross-object sharing to perturb it
+        h.update(b"P" + pickle.dumps(obj, protocol=_PICKLE_PROTOCOL))
+
+
+# -- the checkpoint record ----------------------------------------------------
+
+
+@dataclass
+class SimCheckpoint:
+    """One versioned, digest-protected snapshot of a simulation.
+
+    ``lanes``/``scheduler`` are None for a bare system snapshot (no
+    in-flight ``run_parallel``); ``extras`` is caller data carried
+    verbatim (the farm stashes its telemetry baseline there so a resumed
+    job reports identical deltas).
+    """
+
+    schema: int
+    config_name: str
+    config_fp: str
+    state: dict
+    lanes: list[dict] | None = None
+    scheduler: dict | None = None
+    extras: dict = field(default_factory=dict)
+    digest: str = ""
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def capture(cls, system, run=None, extras: dict | None = None,
+                ) -> "SimCheckpoint":
+        """Snapshot *system* (and the in-flight *run*, if any), sealed."""
+        lanes = scheduler = None
+        if run is not None:
+            lanes = [lane_state(lane) for lane in run.lanes]
+            scheduler = run.scheduler.state()
+        ckpt = cls(
+            schema=CHECKPOINT_SCHEMA,
+            config_name=system.cfg.name,
+            config_fp=config_fingerprint(system.cfg),
+            state=capture_system(system),
+            lanes=lanes,
+            scheduler=scheduler,
+            extras=dict(extras or {}),
+        )
+        ckpt.digest = ckpt.compute_digest()
+        return ckpt
+
+    # -- integrity ------------------------------------------------------------
+
+    def compute_digest(self) -> str:
+        """Structural sha-256 over the checkpoint content.
+
+        Walks the value tree in deterministic order rather than hashing
+        pickle bytes: pickle output depends on object-sharing/interning
+        accidents, so it is not stable across a dump/load round-trip.
+        """
+        h = hashlib.sha256()
+        for name in ("schema", "config_name", "config_fp", "state",
+                     "lanes", "scheduler", "extras"):
+            h.update(name.encode())
+            _digest_update(h, getattr(self, name))
+        return h.hexdigest()
+
+    def verify(self) -> None:
+        """Raise :class:`CheckpointError` if content does not match digest."""
+        actual = self.compute_digest()
+        if actual != self.digest:
+            raise CheckpointError(
+                f"checkpoint digest mismatch: stored {self.digest[:12]}…, "
+                f"content hashes to {actual[:12]}… (corrupt or tampered)")
+
+    def audit(self, system=None) -> None:
+        """Run the invariant audit; raise :class:`CheckpointAuditError`."""
+        problems = audit_checkpoint(self, system)
+        if problems:
+            raise CheckpointAuditError(problems)
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        # shallow field dict, NOT dataclasses.asdict: the state tree holds
+        # component stats dataclasses that must survive as objects
+        body = {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+        return pickle.dumps(body, protocol=_PICKLE_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SimCheckpoint":
+        try:
+            body = pickle.loads(blob)
+            ckpt = cls(**body)
+        except Exception as exc:  # torn file, bad pickle, missing keys
+            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+        ckpt.verify()
+        return ckpt
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the checkpoint to *path*."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with io.open(fd, "wb") as fh:
+                fh.write(self.to_bytes())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SimCheckpoint":
+        try:
+            blob = Path(path).read_bytes()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") \
+                from exc
+        return cls.from_bytes(blob)
+
+    @property
+    def quanta(self) -> int:
+        """Scheduler quanta completed when this checkpoint was taken."""
+        return int(self.scheduler["quanta"]) if self.scheduler else 0
+
+
+def result_from_state(d: dict):
+    """Rebuild a :class:`~repro.core.base.CoreResult` from its asdict form."""
+    from ..core.base import CoreResult  # local: keep import graph acyclic
+    return CoreResult(**d)
+
+
+def lane_state(lane) -> dict:
+    """Serializable progress of one ``_TileLane``."""
+    result = lane.result
+    return {
+        "offset": lane.offset,
+        "chunk": lane.chunk,
+        "trace_len": len(lane.trace),
+        "trace_fp": trace_fingerprint(lane.trace),
+        "local_time": lane.local_time(),
+        "result": (dataclasses.asdict(result)
+                   if result is not None else None),
+    }

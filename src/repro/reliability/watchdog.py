@@ -1,0 +1,134 @@
+"""Lockstep progress watchdog: detect hangs instead of spinning forever.
+
+A deadlocked or livelocked lockstep simulation looks like a scheduler
+that keeps granting quanta to lanes whose local clocks never move.  The
+:class:`LockstepWatchdog` observes the scheduler after every quantum and
+raises a structured :class:`SimulationHang` — with per-tile stall
+attribution pulled from partial results and telemetry — once no live
+lane has made progress for ``k_quanta`` consecutive quanta, or once a
+token channel is left non-empty at a quantum boundary (token
+starvation/leak).
+
+:class:`SimulationHang` is also the base class of the SMPI runtime's
+``DeadlockError``, so every "the simulation stopped advancing" condition
+in the reproduction is one exception family with a ``diagnostics`` dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimulationHang", "LockstepWatchdog", "WatchdogStats"]
+
+
+class SimulationHang(RuntimeError):
+    """The simulation stopped making forward progress.
+
+    ``diagnostics`` holds structured evidence: per-lane clocks/offsets,
+    stall attribution from partial results, token-channel occupancy,
+    and (when a system is attached) a full telemetry snapshot.
+    """
+
+    def __init__(self, message: str, diagnostics: dict | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = dict(diagnostics or {})
+
+
+@dataclass
+class WatchdogStats:
+    """Counters the telemetry registry exports under ``watchdog``."""
+
+    checks: int = 0
+    #: consecutive quanta with zero lane progress (current run length)
+    stalled_quanta: int = 0
+    worst_stall: int = 0
+    hangs: int = 0
+
+
+class LockstepWatchdog:
+    """Progress monitor for a :class:`repro.soc.LockstepScheduler`.
+
+    Pass one to ``System.run_parallel(..., watchdog=...)`` (or set it as
+    ``scheduler.watchdog``).  ``observe`` is called after every quantum;
+    it raises :class:`SimulationHang` after ``k_quanta`` quanta without
+    any live lane's clock advancing or any lane finishing.
+    """
+
+    def __init__(self, k_quanta: int = 64, system=None) -> None:
+        if k_quanta <= 0:
+            raise ValueError("k_quanta must be positive")
+        self.k_quanta = k_quanta
+        self.system = system
+        self.stats = WatchdogStats()
+        self._last_times: dict[int, int] | None = None
+
+    def reset(self) -> None:
+        self.stats = WatchdogStats()
+        self._last_times = None
+
+    # scheduler.watchdog is called with the scheduler itself
+    def __call__(self, scheduler) -> None:
+        self.observe(scheduler)
+
+    def observe(self, scheduler) -> None:
+        """Check progress after a quantum; raise on a detected hang."""
+        self.stats.checks += 1
+        live = scheduler.live_lanes
+        if not live:
+            self.stats.stalled_quanta = 0
+            self._last_times = None
+            return
+        times = {i: scheduler.lanes[i].local_time() for i in live}
+        leaked = [i for i, ch in enumerate(scheduler.channels)
+                  if ch.occupancy != 0]
+        progressed = (
+            self._last_times is None
+            or set(times) != set(self._last_times)  # a lane finished
+            or any(times[i] > self._last_times[i] for i in times)
+        )
+        if progressed and not leaked:
+            self.stats.stalled_quanta = 0
+        else:
+            self.stats.stalled_quanta += 1
+            if self.stats.stalled_quanta > self.stats.worst_stall:
+                self.stats.worst_stall = self.stats.stalled_quanta
+        self._last_times = times
+        if self.stats.stalled_quanta >= self.k_quanta:
+            self.stats.hangs += 1
+            what = ("token channel starvation" if leaked
+                    else "no lane progress")
+            raise SimulationHang(
+                f"lockstep hang: {what} for {self.stats.stalled_quanta} "
+                f"consecutive quanta (lanes {live} stuck)",
+                diagnostics=self.diagnose(scheduler, leaked))
+
+    def diagnose(self, scheduler, leaked: list[int] | None = None) -> dict:
+        """Structured per-tile stall attribution for a hang report."""
+        lanes = []
+        for i, lane in enumerate(scheduler.lanes):
+            entry: dict = {"lane": i, "local_time": lane.local_time(),
+                           "live": i in scheduler._live}
+            offset = getattr(lane, "offset", None)
+            trace = getattr(lane, "trace", None)
+            if offset is not None:
+                entry["offset"] = offset
+            if trace is not None:
+                entry["remaining_ops"] = len(trace) - (offset or 0)
+            result = getattr(lane, "result", None)
+            if result is not None:
+                entry["stalls"] = dict(result.stalls)
+                entry["instructions"] = result.instructions
+            ch = scheduler.channels[i]
+            entry["tokens"] = ch.state()
+            lanes.append(entry)
+        diag = {
+            "quanta": scheduler.stats.quanta,
+            "quantum": scheduler.quantum,
+            "stalled_quanta": self.stats.stalled_quanta,
+            "starved_channels": list(leaked or []),
+            "lanes": lanes,
+        }
+        if self.system is not None:
+            from ..telemetry import StatsRegistry  # local: avoid import cycle
+            diag["telemetry"] = StatsRegistry(self.system).snapshot().data
+        return diag

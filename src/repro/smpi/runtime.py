@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..reliability.watchdog import SimulationHang
 from ..soc.system import System
 from .comm import Comm, Compute, Recv, Send, SendRecv
 from .network import NetworkModel, shared_memory_network
@@ -25,8 +26,14 @@ from .network import NetworkModel, shared_memory_network
 __all__ = ["RankResult", "SMPIRuntime", "DeadlockError", "run_mpi"]
 
 
-class DeadlockError(RuntimeError):
-    """All unfinished ranks are blocked with no possible match."""
+class DeadlockError(SimulationHang):
+    """All unfinished ranks are blocked with no possible match.
+
+    A :class:`~repro.reliability.SimulationHang` whose ``diagnostics``
+    carry per-rank state — clock, status, and every unmatched
+    send/recv/sendrecv key — so a collective rank mismatch is attributed,
+    not just announced.
+    """
 
 
 @dataclass
@@ -114,7 +121,8 @@ class SMPIRuntime:
                 if all(s.status == _DONE for s in states):
                     break
                 blocked = [s.idx for s in states if s.status == _BLOCKED]
-                raise DeadlockError(f"ranks {blocked} are deadlocked")
+                raise DeadlockError(f"ranks {blocked} are deadlocked",
+                                    diagnostics=self._diagnose(states))
             st = min(ready, key=lambda s: (s.clock, s.idx))
             self._step(st)
 
@@ -123,6 +131,31 @@ class SMPIRuntime:
         if baseline is not None:
             self.telemetry = self.registry.delta(baseline)
         return [s.result for s in states]
+
+    def _diagnose(self, states: list[_RankState]) -> dict:
+        """Structured deadlock evidence: who waits on whom, and for what."""
+        names = {_READY: "ready", _BLOCKED: "blocked", _DONE: "done"}
+        ranks = []
+        for st in states:
+            ranks.append({
+                "rank": st.idx,
+                "clock": st.clock,
+                "status": names.get(st.status, st.status),
+                # (src, dst, tag) keys this rank is a party to
+                "unmatched_sends": sorted(
+                    k for k, q in self._sends.items() if q and k[0] == st.idx),
+                "unmatched_recvs": sorted(
+                    k for k, q in self._recvs.items()
+                    if st.idx in q),
+                "posted_sendrecv": sorted(
+                    k for k in self._xchg if k[0] == st.idx),
+            })
+        return {
+            "nranks": self.nranks,
+            "ranks": ranks,
+            "hint": "a (src, dst, tag) listed under exactly one rank is a "
+                    "collective/sendrecv rank mismatch",
+        }
 
     # -- scheduling internals -----------------------------------------------
 

@@ -16,7 +16,24 @@ from ..core.ooo import OoOConfig
 from ..mem.hierarchy import HierarchyConfig
 from ..mem.prefetch import PrefetcherConfig
 
-__all__ = ["BranchPredictorConfig", "SoCConfig"]
+__all__ = ["BranchPredictorConfig", "ConfigValidationError", "SoCConfig"]
+
+
+class ConfigValidationError(ValueError):
+    """Every cross-field violation of a config, collected into one error.
+
+    ``problems`` lists all violations; the message shows them all, so a
+    misconfigured sweep is fixed in one pass instead of one field per
+    traceback.  Subclasses :class:`ValueError` for compatibility with
+    callers that catch the old fail-first errors.
+    """
+
+    def __init__(self, name: str, problems: list[str]) -> None:
+        self.name = name
+        self.problems = list(problems)
+        lines = "; ".join(self.problems)
+        super().__init__(
+            f"{name}: {len(self.problems)} invalid field(s): {lines}")
 
 
 @dataclass(frozen=True)
@@ -55,21 +72,36 @@ class SoCConfig:
     host_mhz: float | None = None
 
     def __post_init__(self) -> None:
+        problems = self.validation_problems()
+        if problems:
+            raise ConfigValidationError(self.name, problems)
+
+    def validation_problems(self) -> list[str]:
+        """All cross-field violations (empty list = valid)."""
+        problems: list[str] = []
         if self.core_type not in ("inorder", "ooo"):
-            raise ValueError(f"core_type must be 'inorder' or 'ooo', got {self.core_type!r}")
+            problems.append(
+                f"core_type must be 'inorder' or 'ooo', got {self.core_type!r}")
         if self.core_type == "inorder" and self.inorder is None:
-            raise ValueError(f"{self.name}: inorder core requires an InOrderConfig")
+            problems.append("inorder core requires an InOrderConfig")
         if self.core_type == "ooo" and self.ooo is None:
-            raise ValueError(f"{self.name}: ooo core requires an OoOConfig")
+            problems.append("ooo core requires an OoOConfig")
         if self.ncores < 1:
-            raise ValueError("ncores must be >= 1")
+            problems.append(f"ncores must be >= 1, got {self.ncores}")
         if self.core_ghz <= 0:
-            raise ValueError("core_ghz must be positive")
+            problems.append(f"core_ghz must be positive, got {self.core_ghz}")
         if self.hierarchy.core_ghz != self.core_ghz:
-            raise ValueError(
-                f"{self.name}: hierarchy.core_ghz ({self.hierarchy.core_ghz}) "
-                f"must match core_ghz ({self.core_ghz})"
-            )
+            problems.append(
+                f"hierarchy.core_ghz ({self.hierarchy.core_ghz}) "
+                f"must match core_ghz ({self.core_ghz})")
+        if self.is_silicon and self.host_mhz is not None:
+            problems.append(
+                f"silicon reference carries a FireSim host rate "
+                f"(host_mhz={self.host_mhz})")
+        if self.host_mhz is not None and self.host_mhz <= 0:
+            problems.append(
+                f"host_mhz must be positive when set, got {self.host_mhz}")
+        return problems
 
     def with_(self, **changes) -> "SoCConfig":
         """Return a modified copy (ablation helper)."""

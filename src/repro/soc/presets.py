@@ -342,6 +342,37 @@ SILICON_MODELS: dict[str, SoCConfig] = {
 ALL_CONFIGS: dict[str, SoCConfig] = {**FIRESIM_MODELS, **SILICON_MODELS}
 
 
+def validate_presets(configs: dict[str, SoCConfig] | None = None) -> None:
+    """Re-validate every preset; aggregate all problems into one error.
+
+    Construction already validates each config, but presets are built
+    with ``dataclasses.replace``-style helpers and registry dicts that
+    can drift; this check runs at import time so a broken preset fails
+    the whole module loudly instead of one sweep at a time.
+    """
+    configs = ALL_CONFIGS if configs is None else configs
+    problems: list[str] = []
+    for key, cfg in configs.items():
+        if key != cfg.name:
+            problems.append(
+                f"{key}: registry key does not match config name {cfg.name!r}")
+        problems.extend(f"{cfg.name}: {p}" for p in cfg.validation_problems())
+        if cfg in SILICON_MODELS.values() and not cfg.is_silicon:
+            problems.append(f"{cfg.name}: in SILICON_MODELS but not marked "
+                            f"is_silicon")
+        if cfg in FIRESIM_MODELS.values():
+            if cfg.is_silicon:
+                problems.append(f"{cfg.name}: FireSim model marked is_silicon")
+            if cfg.host_mhz is None:
+                problems.append(f"{cfg.name}: FireSim model missing host_mhz")
+    if problems:
+        from .config import ConfigValidationError
+        raise ConfigValidationError("presets", problems)
+
+
+validate_presets()
+
+
 def get_config(name: str) -> SoCConfig:
     """Look up a named configuration (KeyError lists the valid names)."""
     try:

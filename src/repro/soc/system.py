@@ -28,7 +28,7 @@ from ..mem.prefetch import StridePrefetcher
 from .config import BranchPredictorConfig, SoCConfig
 from .tokens import LockstepScheduler
 
-__all__ = ["Tile", "System", "build_branch_unit"]
+__all__ = ["Tile", "System", "ParallelRun", "build_branch_unit"]
 
 
 def build_branch_unit(cfg: BranchPredictorConfig) -> BranchUnit:
@@ -66,12 +66,13 @@ class Tile:
 class _TileLane:
     """Adapts a (tile, trace) pair to the LockstepScheduler Lane protocol."""
 
-    def __init__(self, tile: Tile, trace: Trace, chunk: int = 2048) -> None:
+    def __init__(self, tile: Tile, trace: Trace, chunk: int = 2048,
+                 offset: int = 0, result: CoreResult | None = None) -> None:
         self.tile = tile
         self.trace = trace
         self.chunk = chunk
-        self.offset = 0
-        self.result: CoreResult | None = None
+        self.offset = offset
+        self.result = result
 
     def local_time(self) -> int:
         return self.tile.core.local_time
@@ -86,6 +87,93 @@ class _TileLane:
         return self.offset < n
 
 
+class ParallelRun:
+    """A stepwise handle on an in-flight lockstep run.
+
+    ``System.start_parallel`` returns one; :meth:`step` advances whole
+    quanta, so callers can checkpoint (:meth:`checkpoint`), watch, or
+    abandon the run between quanta.  ``System.restore`` rebuilds one
+    mid-flight from a :class:`~repro.reliability.SimCheckpoint`.
+    """
+
+    def __init__(self, system: "System", traces: list[Trace],
+                 quantum: int = 4096, chunk: int = 2048,
+                 watchdog=None, fault_plan=None,
+                 _lanes: list[_TileLane] | None = None,
+                 _scheduler: LockstepScheduler | None = None) -> None:
+        if len(traces) > len(system.tiles):
+            raise ValueError(
+                f"{len(traces)} traces for {len(system.tiles)} tiles")
+        self.system = system
+        self.traces = list(traces)
+        self.chunk = chunk
+        self.fault_plan = fault_plan
+        self.watchdog = watchdog
+        self.lanes = _lanes if _lanes is not None else [
+            _TileLane(system.tiles[i], t, chunk=chunk)
+            for i, t in enumerate(traces)
+        ]
+        if _scheduler is not None:
+            self.scheduler = _scheduler
+        else:
+            self.scheduler = LockstepScheduler(quantum=quantum)
+            self.scheduler.bind(list(self.lanes))
+        if watchdog is not None:
+            if watchdog.system is None:
+                watchdog.system = system
+            self.scheduler.watchdog = watchdog
+        system.last_scheduler = self.scheduler
+        system.last_watchdog = watchdog
+
+    @property
+    def done(self) -> bool:
+        return self.scheduler.done
+
+    @property
+    def quanta(self) -> int:
+        """Quanta completed so far (the checkpointable positions)."""
+        return self.scheduler.stats.quanta
+
+    def _inject_due_faults(self) -> None:
+        plan = self.fault_plan
+        if plan is None:
+            return
+        from ..reliability import faults as _f
+        for fault in plan.token_faults(self.quanta):
+            _f.apply_token_fault(fault, self.scheduler)
+        rng = plan.rng()
+        for fault in plan.line_faults(self.quanta):
+            _f.corrupt_cache_line(
+                self.system, tile=int(fault.param("tile", 0)),
+                cache=str(fault.param("cache", "l1d")), rng=rng)
+
+    def step(self, quanta: int = 1) -> bool:
+        """Advance up to *quanta* scheduler quanta; True while unfinished."""
+        for _ in range(quanta):
+            self._inject_due_faults()
+            if not self.scheduler.step():
+                return False
+        return not self.done
+
+    def run(self) -> list[CoreResult]:
+        """Run to completion and return per-lane results."""
+        while self.step():
+            pass
+        return self.results()
+
+    def results(self) -> list[CoreResult]:
+        """Per-lane results, aligned to the input traces."""
+        out = []
+        for lane in self.lanes:
+            assert lane.result is not None or len(lane.trace) == 0
+            out.append(lane.result or CoreResult(cycles=0, instructions=0))
+        return out
+
+    def checkpoint(self, extras: dict | None = None):
+        """Snapshot run + system state into a ``SimCheckpoint``."""
+        return self.system.save_checkpoint(run=self, extras=extras)
+
+
 class System:
     """``ncores`` tiles over a shared uncore, built from a :class:`SoCConfig`."""
 
@@ -94,6 +182,8 @@ class System:
         self.uncore = Uncore(cfg.hierarchy)
         #: scheduler of the most recent run_parallel (for telemetry)
         self.last_scheduler: LockstepScheduler | None = None
+        #: watchdog of the most recent run_parallel, if any (for telemetry)
+        self.last_watchdog = None
         self.tiles: list[Tile] = []
         for i in range(cfg.ncores):
             port = TilePort(self.uncore, tile_id=i)
@@ -115,25 +205,91 @@ class System:
         return self.tiles[tile].run(trace)
 
     def run_parallel(self, traces: list[Trace], quantum: int = 4096,
-                     chunk: int = 2048) -> list[CoreResult]:
+                     chunk: int = 2048, watchdog=None,
+                     fault_plan=None) -> list[CoreResult]:
         """Run one trace per tile under token lockstep.
 
         ``traces[i]`` runs on tile *i*; fewer traces than tiles leaves the
         remaining tiles idle.  Returns per-tile results (aligned to input).
+        An optional :class:`~repro.reliability.LockstepWatchdog` raises
+        ``SimulationHang`` on stalled progress, and an optional
+        :class:`~repro.reliability.FaultPlan` injects token/cache faults
+        at their scheduled quanta.
         """
-        if len(traces) > len(self.tiles):
-            raise ValueError(
-                f"{len(traces)} traces for {len(self.tiles)} tiles"
-            )
-        lanes = [_TileLane(self.tiles[i], t, chunk=chunk)
-                 for i, t in enumerate(traces)]
-        self.last_scheduler = LockstepScheduler(quantum=quantum)
-        self.last_scheduler.run(list(lanes))
-        out = []
-        for lane in lanes:
-            assert lane.result is not None or len(lane.trace) == 0
-            out.append(lane.result or CoreResult(cycles=0, instructions=0))
-        return out
+        return self.start_parallel(traces, quantum=quantum, chunk=chunk,
+                                   watchdog=watchdog,
+                                   fault_plan=fault_plan).run()
+
+    def start_parallel(self, traces: list[Trace], quantum: int = 4096,
+                       chunk: int = 2048, watchdog=None,
+                       fault_plan=None) -> ParallelRun:
+        """Begin a lockstep run without advancing it (stepwise handle)."""
+        return ParallelRun(self, traces, quantum=quantum, chunk=chunk,
+                           watchdog=watchdog, fault_plan=fault_plan)
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def save_checkpoint(self, run: ParallelRun | None = None,
+                        extras: dict | None = None):
+        """Capture a :class:`~repro.reliability.SimCheckpoint`.
+
+        With *run*, the checkpoint carries lane progress and scheduler
+        position so ``System.restore`` resumes mid-flight; without it,
+        only component state (caches, predictors, …) is captured — e.g.
+        to reuse warmed state across runs.
+        """
+        from ..reliability.checkpoint import SimCheckpoint
+        return SimCheckpoint.capture(self, run=run, extras=extras)
+
+    def restore(self, ckpt, traces: list[Trace] | None = None,
+                watchdog=None, fault_plan=None) -> ParallelRun | None:
+        """Restore a checkpoint onto this system, in place.
+
+        The checkpoint must match this system's config (fingerprint
+        checked) and pass the invariant audit.  For a mid-run checkpoint
+        the original *traces* must be supplied (verified against the
+        recorded per-lane fingerprints) and the returned
+        :class:`ParallelRun` continues bit-identically to the
+        uninterrupted run; for a bare snapshot, returns None.
+        """
+        from ..reliability.checkpoint import (
+            CheckpointError,
+            restore_system,
+            result_from_state,
+            trace_fingerprint,
+        )
+        ckpt.verify()
+        ckpt.audit(self)
+        restore_system(self, ckpt.state)
+        if ckpt.lanes is None:
+            self.last_scheduler = None
+            self.last_watchdog = None
+            return None
+        if traces is None:
+            raise CheckpointError(
+                "mid-run checkpoint: pass the original traces to restore")
+        if len(traces) != len(ckpt.lanes):
+            raise CheckpointError(
+                f"checkpoint has {len(ckpt.lanes)} lanes, got "
+                f"{len(traces)} traces")
+        lanes = []
+        for i, (trace, ls) in enumerate(zip(traces, ckpt.lanes)):
+            if trace_fingerprint(trace) != ls["trace_fp"]:
+                raise CheckpointError(
+                    f"lane {i}: trace does not match the checkpointed "
+                    f"trace (fingerprint mismatch)")
+            result = (result_from_state(ls["result"])
+                      if ls["result"] is not None else None)
+            lanes.append(_TileLane(self.tiles[i], trace,
+                                   chunk=int(ls["chunk"]),
+                                   offset=int(ls["offset"]), result=result))
+        scheduler = LockstepScheduler(quantum=int(ckpt.scheduler["quantum"]))
+        scheduler.bind(list(lanes))
+        scheduler.load_state(ckpt.scheduler)
+        chunk = lanes[0].chunk if lanes else 2048
+        return ParallelRun(self, traces, chunk=chunk,
+                           watchdog=watchdog, fault_plan=fault_plan,
+                           _lanes=lanes, _scheduler=scheduler)
 
     def seconds(self, result: CoreResult) -> float:
         """Target wall-clock of a result at this system's core frequency."""

@@ -10,12 +10,22 @@ in bounded quanta, and the lane with the smallest local clock always runs
 next, so cross-lane interactions through shared uncore state happen in a
 deterministic, almost-time-ordered way regardless of Python iteration
 order.
+
+The scheduler is *stepwise*: :meth:`LockstepScheduler.bind` attaches the
+lanes and :meth:`LockstepScheduler.step` advances exactly one quantum, so
+callers (``System.run_parallel``, checkpointing, the reliability
+watchdog) can pause, inspect, snapshot, or abort between quanta.
+:meth:`LockstepScheduler.run` keeps the original run-to-completion
+behaviour.  Each lane owns one :class:`TokenChannel`: the scheduler
+produces one token to grant a quantum and the lane's completed advance
+consumes it, so at every quantum boundary ``produced == consumed`` on
+every channel — the conservation invariant the reliability audit checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Callable, Protocol
 
 __all__ = ["TokenChannel", "Lane", "LockstepScheduler", "SchedulerStats"]
 
@@ -34,6 +44,14 @@ class TokenChannel:
         self._consumed = 0
 
     @property
+    def produced(self) -> int:
+        return self._produced
+
+    @property
+    def consumed(self) -> int:
+        return self._consumed
+
+    @property
     def occupancy(self) -> int:
         return self._produced - self._consumed
 
@@ -49,6 +67,15 @@ class TokenChannel:
         if self.occupancy < n:
             raise RuntimeError("token channel underflow: consumer ran ahead")
         self._consumed += n
+
+    def state(self) -> dict:
+        return {"capacity": self.capacity, "produced": self._produced,
+                "consumed": self._consumed}
+
+    def load_state(self, state: dict) -> None:
+        self.capacity = int(state["capacity"])
+        self._produced = int(state["produced"])
+        self._consumed = int(state["consumed"])
 
 
 class Lane(Protocol):
@@ -75,26 +102,110 @@ class SchedulerStats:
 class LockstepScheduler:
     """Advance lanes in token quanta, least-advanced lane first."""
 
-    def __init__(self, quantum: int = 4096) -> None:
+    def __init__(self, quantum: int = 4096, *,
+                 watchdog: Callable[["LockstepScheduler"], None] | None = None,
+                 ) -> None:
         if quantum <= 0:
             raise ValueError("quantum must be positive")
         self.quantum = quantum
         self.stats = SchedulerStats()
+        #: called after every quantum with the scheduler (hang detection)
+        self.watchdog = watchdog
+        self.lanes: list = []
+        self.channels: list[TokenChannel] = []
+        self._live: dict[int, object] = {}
+        self._bound = False
 
-    def run(self, lanes: list) -> None:
+    # -- stepwise API ---------------------------------------------------------
+
+    def bind(self, lanes: list) -> "LockstepScheduler":
+        """Attach lanes (one token channel each) without running them."""
+        self.lanes = list(lanes)
+        self.channels = [TokenChannel(capacity=1) for _ in self.lanes]
+        self._live = {i: lane for i, lane in enumerate(self.lanes)}
+        self._bound = True
+        return self
+
+    @property
+    def done(self) -> bool:
+        return self._bound and not self._live
+
+    @property
+    def live_lanes(self) -> list[int]:
+        """Indices of lanes that still have work, in deterministic order."""
+        return sorted(self._live)
+
+    def next_lane(self) -> int | None:
+        """Index of the lane the next :meth:`step` will advance."""
+        if not self._live:
+            return None
+        live = self._live
+        return min(live, key=lambda i: (live[i].local_time(), i))
+
+    def step(self) -> bool:
+        """Advance the least-advanced live lane by one quantum.
+
+        Returns True if a lane was advanced, False when all lanes are done.
+        One token flows through the advanced lane's channel: produced to
+        grant the quantum, consumed when the advance completes, keeping
+        every channel balanced at quantum boundaries.
+        """
+        if not self._bound:
+            raise RuntimeError("scheduler not bound to lanes; call bind()")
+        idx = self.next_lane()
+        if idx is None:
+            return False
+        live = self._live
+        lane = live[idx]
+        channel = self.channels[idx]
+        channel.produce(1)
+        target = lane.local_time() + self.quantum
+        more = lane.advance(target)
+        channel.consume(1)
+        self.stats.quanta += 1
+        if live:
+            times = [l.local_time() for l in live.values()]
+            skew = max(times) - min(times)
+            if skew > self.stats.max_skew:
+                self.stats.max_skew = skew
+        if not more:
+            del live[idx]
+        if self.watchdog is not None:
+            self.watchdog(self)
+        return True
+
+    def run(self, lanes: list | None = None) -> None:
         """Run all lanes to completion under bounded skew."""
-        live = {i: lane for i, lane in enumerate(lanes)}
-        while live:
-            # pick the least-advanced live lane (deterministic tie-break on id)
-            idx = min(live, key=lambda i: (live[i].local_time(), i))
-            lane = live[idx]
-            target = lane.local_time() + self.quantum
-            more = lane.advance(target)
-            self.stats.quanta += 1
-            if live:
-                times = [l.local_time() for l in live.values()]
-                skew = max(times) - min(times)
-                if skew > self.stats.max_skew:
-                    self.stats.max_skew = skew
-            if not more:
-                del live[idx]
+        if lanes is not None:
+            self.bind(lanes)
+        while self.step():
+            pass
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def state(self) -> dict:
+        """Serializable scheduler position (lane progress lives in lanes)."""
+        return {
+            "quantum": self.quantum,
+            "quanta": self.stats.quanta,
+            "max_skew": self.stats.max_skew,
+            "live": sorted(self._live),
+            "channels": [ch.state() for ch in self.channels],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a position captured by :meth:`state` (lanes already bound)."""
+        if not self._bound:
+            raise RuntimeError("bind() lanes before loading scheduler state")
+        self.quantum = int(state["quantum"])
+        self.stats.quanta = int(state["quanta"])
+        self.stats.max_skew = int(state["max_skew"])
+        chans = state["channels"]
+        if len(chans) != len(self.channels):
+            raise ValueError(
+                f"scheduler state has {len(chans)} channels for "
+                f"{len(self.channels)} lanes")
+        for ch, st in zip(self.channels, chans):
+            ch.load_state(st)
+        live = set(int(i) for i in state["live"])
+        self._live = {i: lane for i, lane in enumerate(self.lanes) if i in live}

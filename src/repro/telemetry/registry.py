@@ -174,6 +174,11 @@ class StatsRegistry:
                           if getattr(sys_, "last_scheduler", None) is not None
                           else None),
         }
+        # only present when a run was watched — keeps unwatched snapshots
+        # byte-compatible with older ones
+        watchdog = getattr(sys_, "last_watchdog", None)
+        if watchdog is not None:
+            data["watchdog"] = _dump(watchdog.stats)
         return Snapshot(data)
 
     def delta(self, before: Snapshot) -> Snapshot:

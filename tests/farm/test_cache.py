@@ -77,3 +77,35 @@ def test_clear_and_len(tmp_path):
 def test_selftest_jobs_are_not_cacheable():
     assert Job.selftest("ok").cacheable is False
     assert kernel_job().cacheable is True
+
+
+def test_quantum_is_part_of_job_identity():
+    """Lockstep timing differs from the monolithic path, so a quantum'd
+    job must never collide with a plain one (or a different quantum)."""
+    plain = kernel_job()
+    assert "quantum" not in dict(plain.params)  # legacy keys unchanged
+    q512 = kernel_job(quantum=512)
+    q1024 = kernel_job(quantum=1024)
+    keys = {cache_key(plain), cache_key(q512), cache_key(q1024),
+            cache_key(kernel_job(quantum=512, chunk=64))}
+    assert len(keys) == 4
+    assert cache_key(q512) == cache_key(kernel_job(quantum=512))
+
+
+def test_quarantine_counts_and_preserves_evidence(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = kernel_job()
+    key = cache_key(job)
+    cache.put(key, job, {"cycles": 1})
+    cache.path(key).write_text("{ truncated")
+    assert cache.get(key) is None
+    assert cache.corrupt_quarantined == 1
+    moved = list(cache.quarantine_dir.glob("*.json"))
+    assert len(moved) == 1 and moved[0].read_text() == "{ truncated"
+    # schema-mismatch entries (version skew) are quarantined too
+    cache.put(key, job, {"cycles": 1})
+    entry = json.loads(cache.path(key).read_text())
+    entry["schema"] = -1
+    cache.path(key).write_text(json.dumps(entry))
+    assert cache.get(key) is None
+    assert cache.corrupt_quarantined == 2

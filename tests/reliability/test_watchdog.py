@@ -1,0 +1,158 @@
+"""Lockstep watchdog: hang detection, attribution, healthy-run silence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import FaultPlan, LockstepWatchdog, SimulationHang
+from repro.smpi.runtime import DeadlockError
+from repro.soc.presets import get_config
+from repro.soc.system import System
+from repro.soc.tokens import LockstepScheduler
+from repro.telemetry import StatsRegistry
+from repro.workloads.microbench import get_kernel
+
+
+class FreezeLane:
+    """Advances normally until *freeze_at* cycles, then livelocks."""
+
+    def __init__(self, freeze_at: int) -> None:
+        self._time = 0
+        self._freeze_at = freeze_at
+
+    def local_time(self) -> int:
+        return self._time
+
+    def advance(self, until: int) -> bool:
+        self._time = min(until, self._freeze_at)
+        return True  # claims more work forever
+
+
+def test_frozen_lane_raises_within_k_quanta():
+    watchdog = LockstepWatchdog(k_quanta=5)
+    scheduler = LockstepScheduler(quantum=10, watchdog=watchdog)
+    scheduler.bind([FreezeLane(freeze_at=30)])
+    with pytest.raises(SimulationHang) as exc_info:
+        while scheduler.step():
+            pass
+    # froze after 3 quanta; must trip after exactly k more, not later
+    assert scheduler.stats.quanta == 3 + 5
+    diag = exc_info.value.diagnostics
+    assert diag["stalled_quanta"] == 5
+    assert diag["quantum"] == 10
+    assert [lane["lane"] for lane in diag["lanes"]] == [0]
+    assert diag["lanes"][0]["local_time"] == 30
+    assert watchdog.stats.hangs == 1
+    assert watchdog.stats.worst_stall == 5
+
+
+def test_one_frozen_lane_among_healthy_is_attributed():
+    class EndingLane(FreezeLane):
+        def advance(self, until: int) -> bool:
+            self._time = until
+            return self._time < self._freeze_at  # finishes eventually
+
+    watchdog = LockstepWatchdog(k_quanta=4)
+    scheduler = LockstepScheduler(quantum=10, watchdog=watchdog)
+    scheduler.bind([EndingLane(freeze_at=50), FreezeLane(freeze_at=20)])
+    with pytest.raises(SimulationHang) as exc_info:
+        while scheduler.step():
+            pass
+    diag = exc_info.value.diagnostics
+    # the frozen lane pins the least-advanced clock, so the scheduler
+    # keeps granting it quanta; attribution: stuck lane = minimum clock
+    stuck = min(diag["lanes"], key=lambda lane: lane["local_time"])
+    assert stuck["lane"] == 1
+    assert stuck["local_time"] == 20
+    assert scheduler.next_lane() == 1  # it would be granted again
+
+
+def test_token_dup_fault_trips_starvation():
+    """A token forged onto a finished lane's channel never drains; the
+    watchdog flags starvation even though the other lane keeps advancing."""
+    cfg = get_config("Rocket2")
+    short = get_kernel("EI").build(scale=0.05)   # finishes in a few quanta
+    long = get_kernel("MM").build(scale=0.05)
+    # lane 0 (EI) retires its trace by quantum ~25; forge the token at 30
+    plan = FaultPlan.parse("token-dup lane=0 quantum=30")
+    watchdog = LockstepWatchdog(k_quanta=4)
+    system = System(cfg)
+    with pytest.raises(SimulationHang, match="starvation") as exc_info:
+        system.run_parallel([short, long], quantum=64, chunk=64,
+                            watchdog=watchdog, fault_plan=plan)
+    assert watchdog.stats.hangs == 1
+    assert exc_info.value.diagnostics["starved_channels"] == [0]
+    scheduler = system.last_scheduler
+    assert scheduler.channels[0].occupancy == 1  # the leaked token, in evidence
+
+
+def test_token_dup_on_live_lane_overflows_at_next_grant():
+    """Forging a token on a still-running lane trips channel conservation
+    immediately (capacity-1 producer overflow) — loud, not silent."""
+    system = System(get_config("Rocket1"))
+    trace = get_kernel("MM").build(scale=0.05)
+    plan = FaultPlan.parse("token-dup lane=0 quantum=3")
+    with pytest.raises(RuntimeError, match="overflow"):
+        system.run_parallel([trace], quantum=256, chunk=128, fault_plan=plan)
+
+
+def test_healthy_run_never_trips_and_exports_telemetry():
+    cfg = get_config("Rocket1")
+    trace = get_kernel("MM").build(scale=0.05)
+    system = System(cfg)
+    watchdog = LockstepWatchdog(k_quanta=2)  # tight: any stall would trip
+    result = system.run_parallel([trace], quantum=256, chunk=128,
+                                 watchdog=watchdog)[0]
+    assert result.cycles > 0
+    assert watchdog.stats.hangs == 0
+    assert watchdog.stats.checks > 0
+    snap = StatsRegistry(system).snapshot()
+    assert snap["watchdog"]["checks"] == watchdog.stats.checks
+
+
+def test_unwatched_snapshot_has_no_watchdog_section():
+    system = System(get_config("Rocket1"))
+    assert "watchdog" not in StatsRegistry(system).snapshot().data
+
+
+def test_diagnostics_include_system_telemetry():
+    system = System(get_config("Rocket1"))
+    watchdog = LockstepWatchdog(k_quanta=3, system=system)
+    scheduler = LockstepScheduler(quantum=10, watchdog=watchdog)
+    scheduler.bind([FreezeLane(freeze_at=0)])
+    with pytest.raises(SimulationHang) as exc_info:
+        while scheduler.step():
+            pass
+    assert "telemetry" in exc_info.value.diagnostics
+
+
+def test_smpi_deadlock_is_a_simulation_hang():
+    """DeadlockError subclasses SimulationHang and carries rank forensics."""
+    from repro.smpi.runtime import SMPIRuntime
+
+    system = System(get_config("Rocket2"))
+
+    def deadlocked(comm):
+        # both ranks receive first: classic head-to-head deadlock
+        yield from comm.recv((comm.rank + 1) % comm.size)
+
+    runtime = SMPIRuntime(system, 2)
+    with pytest.raises(DeadlockError) as exc_info:
+        runtime.run(deadlocked)
+    assert isinstance(exc_info.value, SimulationHang)
+    diag = exc_info.value.diagnostics
+    assert diag["nranks"] == 2
+    assert len(diag["ranks"]) == 2
+    assert all(r["unmatched_recvs"] for r in diag["ranks"])
+
+
+def test_watchdog_reset_clears_state():
+    watchdog = LockstepWatchdog(k_quanta=2)
+    scheduler = LockstepScheduler(quantum=10, watchdog=watchdog)
+    scheduler.bind([FreezeLane(freeze_at=0)])
+    with pytest.raises(SimulationHang):
+        while scheduler.step():
+            pass
+    watchdog.reset()
+    assert watchdog.stats.hangs == 0
+    assert watchdog.stats.stalled_quanta == 0

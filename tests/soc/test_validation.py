@@ -1,0 +1,91 @@
+"""Aggregate SoCConfig validation: every violation reported at once."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.inorder import InOrderConfig
+from repro.soc.config import ConfigValidationError, SoCConfig
+from repro.soc.presets import ALL_CONFIGS, ROCKET1, validate_presets
+
+
+def test_all_violations_collected_into_one_error():
+    with pytest.raises(ConfigValidationError) as exc_info:
+        SoCConfig(name="broken", core_type="weird", ncores=0, core_ghz=-1.0)
+    err = exc_info.value
+    assert err.name == "broken"
+    assert len(err.problems) >= 4        # core_type, ncores, ghz, hierarchy
+    message = str(err)
+    for needle in ("core_type", "ncores", "core_ghz", "hierarchy"):
+        assert needle in message, message
+
+
+def test_validation_error_is_a_value_error():
+    with pytest.raises(ValueError):
+        SoCConfig(name="broken", core_type="inorder", inorder=None)
+
+
+@pytest.mark.parametrize("changes, needle", [
+    (dict(ncores=0), "ncores"),
+    (dict(ncores=-3), "ncores"),
+    (dict(core_ghz=0.0), "core_ghz"),
+    (dict(core_ghz=2.5), "hierarchy.core_ghz"),  # hierarchy left at 1.6
+    (dict(core_type="vliw"), "core_type"),
+    (dict(core_type="ooo"), "OoOConfig"),        # ooo selected, none given
+    (dict(host_mhz=-5.0), "host_mhz"),
+    (dict(is_silicon=True), "silicon"),          # silicon with a host rate
+])
+def test_negative_path_matrix(changes, needle):
+    with pytest.raises(ConfigValidationError) as exc_info:
+        ROCKET1.with_(name="mutant", **changes)
+    assert any(needle in p for p in exc_info.value.problems), \
+        exc_info.value.problems
+
+
+def test_inorder_missing_core_config():
+    with pytest.raises(ConfigValidationError, match="InOrderConfig"):
+        SoCConfig(name="nocore", core_type="inorder")
+
+
+def test_valid_config_reports_no_problems():
+    assert ROCKET1.validation_problems() == []
+    cfg = SoCConfig(name="tiny", core_type="inorder",
+                    inorder=InOrderConfig(), ncores=1)
+    assert cfg.validation_problems() == []
+
+
+def test_every_preset_is_valid():
+    validate_presets()                   # the import-time gate, re-run
+    for cfg in ALL_CONFIGS.values():
+        assert cfg.validation_problems() == [], cfg.name
+
+
+def test_validate_presets_catches_registry_key_drift():
+    doctored = dict(ALL_CONFIGS)
+    doctored["WrongKey"] = doctored.pop("Rocket1")
+    with pytest.raises(ConfigValidationError) as exc_info:
+        validate_presets(doctored)
+    assert exc_info.value.name == "presets"
+    assert any("WrongKey" in p for p in exc_info.value.problems)
+
+
+def test_validate_presets_aggregates_multiple_problems():
+    doctored = {"A": ALL_CONFIGS["Rocket1"], "B": ALL_CONFIGS["SmallBOOM"]}
+    with pytest.raises(ConfigValidationError) as exc_info:
+        validate_presets(doctored)
+    assert len(exc_info.value.problems) == 2  # both key mismatches listed
+
+
+def test_with_revalidates():
+    """Ablation copies go through the same aggregate validation."""
+    good = ROCKET1.with_(name="ablated", ncores=2)
+    assert good.ncores == 2
+    with pytest.raises(ConfigValidationError):
+        good.with_(ncores=0)
+
+
+def test_frozen_config_cannot_dodge_validation():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ROCKET1.ncores = 0  # type: ignore[misc]
