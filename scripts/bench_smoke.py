@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bench smoke check (CI): guard the hot-path speedup trajectory.
+
+Re-runs the tracked benchmark (the same harness behind ``repro bench``)
+and compares it against the committed baseline ``BENCH_4.json``:
+
+1. the accelerated pass must stay **bit-identical** to the reference
+   path on every kernel (cycles, stalls, instruction counts);
+2. the off/on speedup — a same-host ratio, so it is stable across CI
+   runners — must not regress by more than 10% against the baseline.
+
+Absolute wall-clock numbers are *not* compared: they measure the host,
+not the code.  Exit code 0 on success; any check failure is a
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.accel.bench import run_bench  # noqa: E402
+
+BASELINE = ROOT / "BENCH_4.json"
+#: allowed fractional speedup regression vs the committed baseline
+TOLERANCE = 0.10
+
+
+def main() -> int:
+    baseline = json.loads(BASELINE.read_text())
+    base_speedup = baseline["suite"]["speedup"]
+
+    record = run_bench()  # full suite, same defaults as the baseline
+    suite = record["suite"]
+    print(f"baseline speedup x{base_speedup}, "
+          f"this run x{suite['speedup']} "
+          f"({suite['kernels']} kernels, off {suite['off_seconds']}s, "
+          f"on {suite['on_seconds']}s)")
+
+    if not suite["identical"]:
+        print("FAIL: accel=on diverged from the reference path")
+        return 1
+    floor = base_speedup * (1.0 - TOLERANCE)
+    if suite["speedup"] < floor:
+        print(f"FAIL: speedup x{suite['speedup']} fell below "
+              f"x{floor:.2f} (baseline x{base_speedup} - {TOLERANCE:.0%})")
+        return 1
+
+    interp = record["interp"]
+    if not (interp["decode_hits"] == interp["decode_misses"] > 0):
+        print(f"FAIL: decode cache not effective: {interp}")
+        return 1
+
+    print("bench smoke OK: bit-identical, speedup within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Vectorized span analysis for the in-order fast path.
+
+The in-order scoreboard in :class:`~repro.core.inorder.InOrderCore` only
+needs its full per-op machinery for micro-ops that touch the memory
+system, the branch unit, the unpipelined divider, or the vector unit.
+Everything else — integer/FP exec ops, CSRs, fences, ``vsetvl`` — flows
+through one generic timing rule: wait for operands, pack into issue
+slots, write the destination at ``issue + latency``.
+
+This module pre-segments a trace into maximal runs of such ops
+("spans"), links each span operand to its in-span producer, and solves a
+whole span's issue schedule in closed form with numpy:
+
+* slot packing — for span op *k* with ``e_k = slots_in + k`` issue-slot
+  consumptions since span entry at cycle *C* on a *W*-wide core,
+
+  ``issue_k = (max(W*C, max_{j<=k}(W*ready_j - e_j)) + e_k) // W``
+
+  which reproduces the scalar ``while slots >= W: cycle += 1`` packing
+  exactly (prefix maximum via ``np.maximum.accumulate``);
+* operand readiness — a monotone fixed-point over
+  ``ready_k = max(fe, issue[prod] + lat[prod], carried reg_ready)``,
+  converging in at most dependency-chain-depth iterations; spans whose
+  chains exceed the iteration cap are handed back to the scalar engine
+  untouched (no side effects happen before convergence).
+
+All times are integral-valued (possibly float-typed) simulation cycles,
+so float64 floor-division is exact and the schedule matches the scalar
+loop bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.opcodes import OpClass
+
+__all__ = ["SPAN_ELIGIBLE", "MIN_SPAN", "Span", "build_spans",
+           "segment_spans", "solve_span"]
+
+#: ops the generic timing rule covers: no memory port, no branch unit,
+#: no divider interlock, no vector unit occupancy
+SPAN_ELIGIBLE = frozenset({
+    OpClass.NOP, OpClass.INT_ALU, OpClass.INT_MUL,
+    OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_FMA, OpClass.FP_DIV,
+    OpClass.FP_SQRT, OpClass.FP_CVT, OpClass.FP_MOV,
+    OpClass.CSR, OpClass.FENCE, OpClass.VSETVL,
+})
+
+#: below this length the numpy setup costs more than the scalar loop
+MIN_SPAN = 32
+
+_ELIGIBLE_LUT = np.zeros(256, dtype=bool)
+_ELIGIBLE_LUT[[int(op) for op in SPAN_ELIGIBLE]] = True
+
+#: fixed-point iteration cap; deeper serial chains fall back to scalar
+_MAX_ITER = 64
+
+
+class Span:
+    """One eligible run ``[start, end)`` with pre-linked producers.
+
+    ``cross_cand`` lists the in-span op indices where the front end may
+    see a new 64-byte fetch line (index 0 plus every line change); the
+    engine replays real I-fetches only at those points.
+    """
+
+    __slots__ = ("start", "end", "op", "dst", "s1", "s2",
+                 "prod1", "prod2", "pc_l", "lines_l", "cross_cand")
+
+    def __init__(self, trace, start: int, end: int):
+        self.start = start
+        self.end = end
+        self.op = trace.op[start:end].astype(np.int64)
+        self.dst = trace.dst[start:end].astype(np.int64)
+        self.s1 = trace.src1[start:end].astype(np.int64)
+        self.s2 = trace.src2[start:end].astype(np.int64)
+        pc = trace.pc[start:end].astype(np.int64)
+        self.pc_l = pc.tolist()
+        lines = pc >> 6
+        self.lines_l = lines.tolist()
+        self.cross_cand = [0] + (np.nonzero(np.diff(lines) != 0)[0]
+                                 + 1).tolist()
+        self.prod1 = _link_producers(self.dst, self.s1)
+        self.prod2 = _link_producers(self.dst, self.s2)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+def _link_producers(dst: np.ndarray, src: np.ndarray) -> np.ndarray:
+    """For each op *i*, the last ``j < i`` with ``dst[j] == src[i] > 0``.
+
+    Encodes producers as sorted keys ``dst*m + j`` and binary-searches
+    ``src*m + i``; the predecessor of the insertion point is the latest
+    earlier write to that register (an op's own write never counts — its
+    key equals the query, and searchsorted's left side excludes it).
+    """
+    m = len(dst)
+    prod = np.full(m, -1, dtype=np.int64)
+    writers = dst > 0
+    if not writers.any():
+        return prod
+    idx = np.arange(m, dtype=np.int64)
+    keys = dst[writers] * m + idx[writers]
+    order = np.argsort(keys, kind="stable")
+    skeys = keys[order]
+    sidx = idx[writers][order]
+    pos = np.searchsorted(skeys, src * m + idx)
+    cand = pos - 1
+    safe = np.clip(cand, 0, None)
+    hit = (cand >= 0) & (src > 0) & (skeys[safe] // m == src)
+    prod[hit] = sidx[safe[hit]]
+    return prod
+
+
+def segment_spans(op_col) -> list:
+    """Maximal ``(start, end)`` runs of eligible ops, length >= MIN_SPAN."""
+    op = np.asarray(op_col, dtype=np.uint8)
+    if op.size == 0:
+        return []
+    elig = _ELIGIBLE_LUT[op]
+    edges = np.diff(np.concatenate(([False], elig, [False])).astype(np.int8))
+    starts = np.nonzero(edges == 1)[0]
+    ends = np.nonzero(edges == -1)[0]
+    return [(int(s), int(e))
+            for s, e in zip(starts, ends) if e - s >= MIN_SPAN]
+
+
+def build_spans(trace) -> list:
+    """Pre-analyzed :class:`Span` objects for every eligible run."""
+    return [Span(trace, s, e) for s, e in segment_spans(trace.op)]
+
+
+def solve_span(span: Span, lat: np.ndarray, width: int, cycle,
+               slots_in: int, fe_ready, reg_ready: list):
+    """Closed-form issue schedule for one span.
+
+    ``lat`` is the per-op latency array (``lat_lut[span.op]``), ``cycle``
+    the issue time of the op preceding the span, ``slots_in`` the issue
+    slots already consumed at that cycle, ``fe_ready`` the (assumed
+    constant) front-end ready time, and ``reg_ready`` the live scoreboard.
+
+    Returns ``(issue, d1, d2)`` — per-op issue cycles and the exact
+    src1/src2 dependence-stall attribution the scalar loop would record —
+    or ``None`` when the readiness fixed point fails to converge (the
+    caller then runs the span through the scalar engine instead).
+    """
+    m = len(lat)
+    s1, s2 = span.s1, span.s2
+    p1, p2 = span.prod1, span.prod2
+    s1pos, s2pos = s1 > 0, s2 > 0
+    # carried scoreboard values for operands with no in-span producer
+    rr = np.asarray(reg_ready, dtype=np.float64)
+    carry1 = np.where(s1pos & (p1 < 0), rr[s1], 0.0)
+    carry2 = np.where(s2pos & (p2 < 0), rr[s2], 0.0)
+    sp1, sp2 = np.clip(p1, 0, None), np.clip(p2, 0, None)
+    use_p1, use_p2 = s1pos & (p1 >= 0), s2pos & (p2 >= 0)
+    e = np.arange(slots_in, slots_in + m, dtype=np.float64)
+    seed = width * cycle
+    issue = np.full(m, float(cycle))
+    r1_eff = r2_eff = None
+    for _ in range(_MAX_ITER):
+        done = issue + lat
+        r1_eff = np.where(use_p1, done[sp1], carry1)
+        r2_eff = np.where(use_p2, done[sp2], carry2)
+        ready = np.maximum(float(fe_ready),
+                           np.maximum(np.where(s1pos, r1_eff, 0.0),
+                                      np.where(s2pos, r2_eff, 0.0)))
+        nxt = (np.maximum(seed, np.maximum.accumulate(width * ready - e))
+               + e) // width
+        if np.array_equal(nxt, issue):
+            break
+        issue = nxt
+    else:
+        return None
+    prev_issue = np.empty(m)
+    prev_issue[0] = cycle
+    prev_issue[1:] = issue[:-1]
+    t0 = np.maximum(prev_issue, float(fe_ready))
+    d1 = np.where(s1pos, np.maximum(r1_eff - t0, 0.0), 0.0)
+    t_mid = np.where(s1pos, np.maximum(t0, r1_eff), t0)
+    d2 = np.where(s2pos, np.maximum(r2_eff - t_mid, 0.0), 0.0)
+    return issue, d1, d2

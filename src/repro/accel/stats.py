@@ -1,0 +1,85 @@
+"""Counters for the hot-path acceleration layer.
+
+Two scopes:
+
+* :class:`AccelStats` — per-core fast-path coverage.  Each accelerated
+  :class:`~repro.core.inorder.InOrderCore` owns one; the counters say how
+  many micro-ops retired through the vectorized span engine
+  (``fastpath_uops``) versus the transliterated scalar loop
+  (``fallback_uops``), and how often a span had to be abandoned at a
+  front-end hazard (``span_aborts``).
+* :func:`global_stats` — process-wide memoization counters (result memo,
+  shared trace cache, interpreter decode cache).  These live outside any
+  :class:`~repro.soc.System` because a memo hit never builds a system at
+  all.
+
+Both surface through :class:`repro.telemetry.StatsRegistry` snapshots
+under conditional ``accel`` keys (present only when the config runs with
+``accel="on"``), mirroring how watchdog stats stay absent on unwatched
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccelStats", "AccelGlobalStats", "global_stats",
+           "reset_global_stats"]
+
+
+@dataclass
+class AccelStats:
+    """Per-core fast-path coverage counters."""
+
+    fastpath_uops: int = 0     #: uops retired by the vectorized span engine
+    fallback_uops: int = 0     #: uops retired by the scalar scoreboard path
+    spans: int = 0             #: spans attempted by the vector engine
+    span_aborts: int = 0       #: spans cut short (front-end miss / no converge)
+
+    @property
+    def coverage(self) -> float:
+        total = self.fastpath_uops + self.fallback_uops
+        return self.fastpath_uops / total if total else 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+@dataclass
+class AccelGlobalStats:
+    """Process-wide accel counters: memo caches plus aggregate coverage.
+
+    ``fastpath_uops``/``fallback_uops`` accumulate across every engine in
+    the process (systems are often built and discarded per run, so the
+    per-core :class:`AccelStats` may be gone by the time a harness wants
+    coverage numbers).
+    """
+
+    memo_hits: int = 0
+    memo_misses: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
+    decode_hits: int = 0
+    decode_misses: int = 0
+    fastpath_uops: int = 0
+    fallback_uops: int = 0
+
+    @property
+    def coverage(self) -> float:
+        total = self.fastpath_uops + self.fallback_uops
+        return self.fastpath_uops / total if total else 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+_GLOBAL = AccelGlobalStats()
+
+
+def global_stats() -> AccelGlobalStats:
+    """The process-wide accel counter record (a single shared instance)."""
+    return _GLOBAL
+
+
+def reset_global_stats() -> None:
+    _GLOBAL.reset()

@@ -30,6 +30,10 @@ Commands
 ``replay FILE [--verify]``
     Resume a saved checkpoint to completion; ``--verify`` re-runs
     uninterrupted from scratch and asserts bit-identical results.
+``bench [--config CFG] [--scale S] [--out FILE]``
+    Time the microbench sweep with ``accel`` off then on plus the
+    functional interpreter, verify bit-identity, and write the tracked
+    ``BENCH_<n>.json`` record (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -165,6 +169,19 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--verify", action="store_true",
                     help="also run uninterrupted from scratch and assert "
                          "the results are bit-identical")
+
+    b = sub.add_parser("bench",
+                       help="tracked hot-path benchmark (accel off vs on)")
+    b.add_argument("--config", default="Rocket1")
+    b.add_argument("--scale", type=float, default=0.5)
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--kernels", default=None,
+                   help="comma-separated kernel names "
+                        "(default: the full runnable suite)")
+    b.add_argument("--out", default=None, metavar="FILE",
+                   help="write the benchmark record here (e.g. BENCH_4.json)")
+    b.add_argument("--json", action="store_true",
+                   help="print the full record as JSON instead of a summary")
     return p
 
 
@@ -436,6 +453,31 @@ def main(argv: list[str] | None = None) -> int:
                 print("verify: FAIL (resumed run diverged!)")
                 return 1
         return 0
+
+    if args.command == "bench":
+        from .accel.bench import run_bench, write_bench_json
+
+        kernels = ([k for k in args.kernels.split(",") if k]
+                   if args.kernels else None)
+        record = run_bench(get_config(args.config), scale=args.scale,
+                           seed=args.seed, kernels=kernels)
+        if args.json:
+            print(json.dumps(record, indent=2))
+        else:
+            s, it = record["suite"], record["interp"]
+            print(f"suite  {s['config']}: {s['kernels']} kernels x scale "
+                  f"{s['scale']}: off {s['off_seconds']}s, on "
+                  f"{s['on_seconds']}s, speedup x{s['speedup']}, "
+                  f"coverage {s['fastpath_coverage']:.1%}, "
+                  f"{'bit-identical' if s['identical'] else 'DIVERGED'}")
+            print(f"interp {it['instructions']:,} instructions in "
+                  f"{it['seconds']}s "
+                  f"({it['instructions_per_second']:,} inst/s, "
+                  f"decode {it['decode_hits']}/{it['decode_hits'] + it['decode_misses']} cached)")
+        if args.out:
+            write_bench_json(record, args.out)
+            print(f"wrote {args.out}")
+        return 0 if record["suite"]["identical"] else 1
 
     if args.command == "npb":
         res = NPB_RUNNERS[args.bench](get_config(args.config),

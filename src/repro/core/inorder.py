@@ -68,11 +68,18 @@ class InOrderCore(CoreModel):
     """Rocket-like in-order scoreboard core."""
 
     def __init__(self, cfg: InOrderConfig, port, branch_unit: BranchUnit | None = None,
-                 icache_hit_latency: int = 1) -> None:
+                 icache_hit_latency: int = 1, accel: bool = False) -> None:
         self.cfg = cfg
         self.port = port
         self.bru = branch_unit if branch_unit is not None else rocket_branch_unit()
         self._icache_hit = icache_hit_latency
+        # accelerated engine (repro.accel): bit-identical fast path, built
+        # lazily on first run so reference-only cores never import numpy
+        # mirrors; accel_stats tracks its fast-path coverage
+        self._accel_on = accel
+        self._accel = None
+        from ..accel.stats import AccelStats
+        self.accel_stats = AccelStats()
         self.reset()
 
     def reset(self) -> None:
@@ -92,6 +99,11 @@ class InOrderCore(CoreModel):
     # -- main loop ---------------------------------------------------------
 
     def run(self, trace: Trace, start_time: int = 0) -> CoreResult:
+        if self._accel_on and hasattr(self.port, "uncore"):
+            if self._accel is None:
+                from ..accel.engine import AccelEngine
+                self._accel = AccelEngine(self)
+            return self._accel.run(trace, start_time)
         cfg = self.cfg
         lat = cfg.latencies
         port = self.port

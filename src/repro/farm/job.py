@@ -207,6 +207,7 @@ def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     checkpoint every ``ctx.checkpoint_every`` quanta and a later attempt
     resumes from it bit-identically instead of restarting from zero.
     """
+    from ..accel import memo
     from ..soc.system import System
     from ..telemetry import StatsRegistry, Snapshot, cpi_stack
     from ..workloads.microbench import get_kernel
@@ -216,13 +217,31 @@ def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
         raise RuntimeError(f"kernel {kern.spec.name} is marked broken")
     cfg = job.config
     scale = max(float(job.param("scale", 1.0)), kern.min_harness_scale)
-    trace = kern.build(scale=scale, seed=job.seed)
+    accel = getattr(cfg, "accel", "off") == "on"
+    if accel:
+        trace = memo.shared_trace(
+            job.workload, scale, job.seed,
+            lambda: kern.build(scale=scale, seed=job.seed))
+    else:
+        trace = kern.build(scale=scale, seed=job.seed)
     system = System(cfg)
     registry = StatsRegistry(system)
     quantum = job.param("quantum")
+    mkey = None
 
     if quantum is None:
-        if job.param("warmup", True) and kern.needs_warmup:
+        do_warmup = bool(job.param("warmup", True) and kern.needs_warmup)
+        # fresh-system serial runs are a pure function of (trace, config):
+        # memoize the whole payload (in-process workers and repeated
+        # sweep points skip the simulation entirely)
+        if (accel and job.cacheable and ctx.fault is None
+                and memo.memo_enabled()):
+            mkey = memo.memo_key(trace, cfg, system.uncore,
+                                 extra=("farm_kernel", do_warmup))
+            hit = memo.memo_get(mkey)
+            if hit is not None:
+                return hit
+        if do_warmup:
             system.run(trace)
         base = registry.snapshot()
         result = system.run(trace)
@@ -268,6 +287,10 @@ def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
                 pass
 
     delta = registry.delta(base)
+    # the process-wide accel counters (memo/trace-cache hits) depend on
+    # run history, not on this job — a payload must stay a pure function
+    # of the job so cached/memoized/resumed runs compare byte-identical
+    delta.data.pop("accel", None)
     stack = cpi_stack(system, result, delta)
     payload: dict[str, Any] = {
         "kind": "kernel",
@@ -289,6 +312,8 @@ def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     }
     if quantum is not None:
         payload["quantum"] = quantum
+    if mkey is not None:
+        memo.memo_put(mkey, payload)
     return payload
 
 

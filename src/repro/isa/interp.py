@@ -29,6 +29,29 @@ class ExecutionError(RuntimeError):
     """Raised on traps: misaligned jumps, bad decode, fuel exhaustion."""
 
 
+# Decoded-instruction cache: RISC-V decode is a pure function of the
+# 32-bit word and Instr is frozen, so instances are shared process-wide.
+# The bound is eviction-free — 64Ki distinct words cover any realistic
+# program mix; beyond it new words just decode uncached.
+_DECODE_CACHE: dict[int, "Instr"] = {}
+_DECODE_CACHE_BOUND = 1 << 16
+
+
+def _decode_cached(word: int) -> Instr:
+    from ..accel.stats import global_stats
+
+    ins = _DECODE_CACHE.get(word)
+    g = global_stats()
+    if ins is not None:
+        g.decode_hits += 1
+        return ins
+    g.decode_misses += 1
+    ins = decode(word)
+    if len(_DECODE_CACHE) < _DECODE_CACHE_BOUND:
+        _DECODE_CACHE[word] = ins
+    return ins
+
+
 def _s64(v: int) -> int:
     v &= _MASK64
     return v - (1 << 64) if v >> 63 else v
@@ -39,27 +62,67 @@ def _s32(v: int) -> int:
     return v - (1 << 32) if v >> 31 else v
 
 
+_PAGE_SHIFT = 12
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
 class Memory:
-    """Sparse byte-addressable memory backed by a dict of aligned words."""
+    """Sparse byte-addressable memory backed by 4 KiB ``bytearray`` pages.
+
+    Accesses that stay inside one page — the overwhelmingly common case —
+    move whole words with ``int.from_bytes``/``int.to_bytes`` instead of
+    per-byte dict probes.  Never-written bytes still read as zero, and
+    ``len(mem)`` still counts distinct bytes ever stored (tracked in a
+    per-page occupancy bitmask), so the sparse-dict semantics are
+    preserved exactly.
+    """
 
     def __init__(self) -> None:
-        self._bytes: dict[int, int] = {}
+        self._pages: dict[int, bytearray] = {}
+        self._present: dict[int, int] = {}
 
     def load(self, addr: int, size: int, signed: bool) -> int:
-        val = 0
-        for i in range(size):
-            val |= self._bytes.get(addr + i, 0) << (8 * i)
+        off = addr & _PAGE_MASK
+        if off + size <= _PAGE_SIZE:
+            page = self._pages.get(addr >> _PAGE_SHIFT)
+            val = (0 if page is None
+                   else int.from_bytes(page[off:off + size], "little"))
+        else:  # straddles a page boundary: assemble byte by byte
+            val = 0
+            for i in range(size):
+                a = addr + i
+                page = self._pages.get(a >> _PAGE_SHIFT)
+                if page is not None:
+                    val |= page[a & _PAGE_MASK] << (8 * i)
         if signed and val >> (8 * size - 1):
             val -= 1 << (8 * size)
         return val
 
     def store(self, addr: int, value: int, size: int) -> None:
         value &= (1 << (8 * size)) - 1
-        for i in range(size):
-            self._bytes[addr + i] = (value >> (8 * i)) & 0xFF
+        off = addr & _PAGE_MASK
+        if off + size <= _PAGE_SIZE:
+            pno = addr >> _PAGE_SHIFT
+            page = self._pages.get(pno)
+            if page is None:
+                page = self._pages[pno] = bytearray(_PAGE_SIZE)
+            page[off:off + size] = value.to_bytes(size, "little")
+            self._present[pno] = (self._present.get(pno, 0)
+                                  | ((1 << size) - 1) << off)
+        else:
+            for i in range(size):
+                a = addr + i
+                pno = a >> _PAGE_SHIFT
+                page = self._pages.get(pno)
+                if page is None:
+                    page = self._pages[pno] = bytearray(_PAGE_SIZE)
+                page[a & _PAGE_MASK] = (value >> (8 * i)) & 0xFF
+                self._present[pno] = (self._present.get(pno, 0)
+                                      | 1 << (a & _PAGE_MASK))
 
     def __len__(self) -> int:
-        return len(self._bytes)
+        return sum(m.bit_count() for m in self._present.values())
 
 
 @dataclass
@@ -88,7 +151,7 @@ class Interpreter:
         self.pc = self.base
         self.retired = 0
         self.halted = False
-        self._decoded: list[Instr] = [decode(w) for w in self.program]
+        self._decoded: list[Instr] = [_decode_cached(w) for w in self.program]
         self._builder = TraceBuilder(pc0=self.base)
         self._builder.pc = self.base
 

@@ -83,8 +83,15 @@ class CheckpointAuditError(CheckpointError):
 
 
 def config_fingerprint(cfg) -> str:
-    """sha-256 over the canonical JSON of a (frozen dataclass) config."""
-    blob = json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
+    """sha-256 over the canonical JSON of a (frozen dataclass) config.
+
+    The ``accel`` knob is excluded: accelerated runs are bit-identical to
+    reference runs by contract, so a checkpoint taken in either mode must
+    restore into the other.
+    """
+    tree = dataclasses.asdict(cfg)
+    tree.pop("accel", None)
+    blob = json.dumps(tree, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -103,7 +110,7 @@ def trace_fingerprint(trace) -> str:
 
 #: attribute names never captured: configs/wiring, not mutable sim state
 _WIRING = {"cfg", "name", "next_level", "port", "bru", "uncore", "cache",
-           "tile_id", "prefetcher", "_walker"}
+           "tile_id", "prefetcher", "_walker", "_accel", "_accel_on"}
 
 
 def _grab(obj) -> dict[str, Any]:

@@ -70,6 +70,9 @@ class SoCConfig:
     is_silicon: bool = False
     #: FireSim host simulation rate in MHz (None for silicon)
     host_mhz: float | None = None
+    #: hot-path acceleration (repro.accel): "on" (default) or "off".
+    #: Bit-identical by contract — the knob trades nothing but wall-clock.
+    accel: str = "on"
 
     def __post_init__(self) -> None:
         problems = self.validation_problems()
@@ -101,6 +104,9 @@ class SoCConfig:
         if self.host_mhz is not None and self.host_mhz <= 0:
             problems.append(
                 f"host_mhz must be positive when set, got {self.host_mhz}")
+        if self.accel not in ("on", "off"):
+            problems.append(
+                f"accel must be 'on' or 'off', got {self.accel!r}")
         return problems
 
     def with_(self, **changes) -> "SoCConfig":

@@ -192,7 +192,9 @@ class System:
             bru = build_branch_unit(cfg.branch)
             if cfg.core_type == "inorder":
                 assert cfg.inorder is not None
-                core: InOrderCore | OoOCore = InOrderCore(cfg.inorder, port, bru)
+                core: InOrderCore | OoOCore = InOrderCore(
+                    cfg.inorder, port, bru,
+                    accel=getattr(cfg, "accel", "off") == "on")
             else:
                 assert cfg.ooo is not None
                 core = OoOCore(cfg.ooo, port, bru)

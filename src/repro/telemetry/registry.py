@@ -135,6 +135,16 @@ class StatsRegistry:
 
     def __init__(self, system) -> None:
         self.system = system
+        # the process-wide accel counters (repro.accel.stats) outlive any
+        # one system, so baseline them here: snapshots report the accel
+        # activity observed during *this* registry's lifetime, keeping a
+        # fresh system's counters at zero
+        if getattr(system.cfg, "accel", "off") == "on":
+            from ..accel.stats import global_stats
+            self._accel_base: dict[str, int | float] | None = \
+                _dump(global_stats())
+        else:
+            self._accel_base = None
 
     def snapshot(self) -> Snapshot:
         sys_ = self.system
@@ -151,6 +161,11 @@ class StatsRegistry:
                 "prefetch": (_dump(port.prefetcher.stats)
                              if port.prefetcher is not None else None),
             }
+            # only present on accelerated cores — keeps accel=off
+            # snapshots byte-compatible with pre-accel ones
+            astats = getattr(tile.core, "accel_stats", None)
+            if astats is not None and getattr(tile.core, "_accel_on", False):
+                rec["accel"] = _dump(astats)
             tiles.append(rec)
 
         uncore = sys_.uncore
@@ -179,6 +194,21 @@ class StatsRegistry:
         watchdog = getattr(sys_, "last_watchdog", None)
         if watchdog is not None:
             data["watchdog"] = _dump(watchdog.stats)
+        # acceleration counters, only when the config opts in.  The memo
+        # keys are process-wide, reported relative to this registry's
+        # construction-time baseline; the uop coverage keys are summed
+        # from the tiles (per-run state, carried through checkpoints) so
+        # a resumed run's snapshot stays bit-identical to an
+        # uninterrupted one
+        if self._accel_base is not None:
+            from ..accel.stats import global_stats
+            now = _dump(global_stats())
+            acc = {k: v - self._accel_base.get(k, 0) for k, v in now.items()}
+            acc["fastpath_uops"] = sum(
+                t["accel"]["fastpath_uops"] for t in tiles if "accel" in t)
+            acc["fallback_uops"] = sum(
+                t["accel"]["fallback_uops"] for t in tiles if "accel" in t)
+            data["accel"] = acc
         return Snapshot(data)
 
     def delta(self, before: Snapshot) -> Snapshot:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...accel import memo
 from ...core.base import CoreResult
 from ...soc.config import SoCConfig
 from ...soc.system import System
@@ -107,18 +108,42 @@ def run_kernel(config: SoCConfig, kernel: MicroKernel | str,
 
     A warmup pass trains caches and predictors (microbenchmark harnesses
     time the steady state); the second pass is measured.
+
+    With ``config.accel == "on"`` the decoded trace is shared process-wide
+    (sweeps stop rebuilding it per configuration point) and the whole
+    fresh-system run is memoized on ``(trace, config)`` content identity —
+    a repeated point returns the identical :class:`~repro.core.base.CoreResult`
+    without simulating.  Both caches are bypassed with ``accel="off"`` or
+    ``REPRO_ACCEL_MEMO=0``.
     """
     if isinstance(kernel, str):
         kernel = get_kernel(kernel)
     if kernel.spec.broken:
         raise RuntimeError(f"kernel {kernel.spec.name} is marked broken")
-    system = System(config)
     scale = max(scale, kernel.min_harness_scale)
-    trace = kernel.build(scale=scale, seed=seed)
-    if warmup and kernel.needs_warmup:
+    name = kernel.spec.name
+    accel = getattr(config, "accel", "off") == "on"
+    if accel:
+        k = kernel
+        trace = memo.shared_trace(
+            name, scale, seed, lambda: k.build(scale=scale, seed=seed))
+    else:
+        trace = kernel.build(scale=scale, seed=seed)
+    system = System(config)
+    do_warmup = warmup and kernel.needs_warmup
+    key = None
+    if accel and memo.memo_enabled():
+        key = memo.memo_key(trace, config, system.uncore,
+                            extra=("run_kernel", do_warmup))
+        hit = memo.memo_get(key)
+        if hit is not None:
+            return KernelRun(name, config.name, hit, config.core_ghz)
+    if do_warmup:
         system.run(trace)
     result = system.run(trace)
-    return KernelRun(kernel.spec.name, config.name, result, config.core_ghz)
+    if key is not None:
+        memo.memo_put(key, result)
+    return KernelRun(name, config.name, result, config.core_ghz)
 
 
 def run_suite(config: SoCConfig, scale: float = 1.0, seed: int = 0,

@@ -1,0 +1,130 @@
+"""Span pre-segmentation and the closed-form issue solver.
+
+The microbench suite's loop bodies are shorter than :data:`MIN_SPAN`, so
+these tests drive the vectorized path with synthetic straight-line
+traces — long eligible runs broken by loads, branches, and divides — and
+hold it to the same bit-identity contract as the scalar engine."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.accel import memo
+from repro.accel.fastpath import (
+    MIN_SPAN,
+    SPAN_ELIGIBLE,
+    Span,
+    build_spans,
+    segment_spans,
+    solve_span,
+)
+from repro.accel.stats import global_stats, reset_global_stats
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceBuilder
+from repro.soc.presets import ROCKET1
+from repro.soc.system import System
+
+
+def _straightline(n_alu=80, n_fp=64):
+    """ALU run | load | FP run | branch: two eligible spans."""
+    b = TraceBuilder()
+    for i in range(n_alu):
+        b.alu(dst=1 + i % 8, src1=1 + (i + 1) % 8, src2=1 + (i + 2) % 8)
+    b.load(dst=9, addr=0x2_0000)
+    for i in range(n_fp):
+        b.fp(OpClass.FP_FMA, dst=10 + i % 4, src1=10 + (i + 1) % 4,
+             src2=9)
+    b.branch(taken=False)
+    return b.build()
+
+
+# ------------------------------------------------------------ segmentation
+
+def test_segment_spans_finds_eligible_runs():
+    tr = _straightline(n_alu=80, n_fp=64)
+    spans = segment_spans(tr.op)
+    assert spans == [(0, 80), (81, 145)]
+
+
+def test_segment_spans_drops_short_runs():
+    tr = _straightline(n_alu=MIN_SPAN - 1, n_fp=MIN_SPAN)
+    spans = segment_spans(tr.op)
+    assert spans == [(MIN_SPAN, 2 * MIN_SPAN)]
+
+
+def test_segment_spans_empty_trace():
+    assert segment_spans(np.array([], dtype=np.uint8)) == []
+
+
+def test_eligible_ops_have_no_side_channels():
+    """The generic rule must exclude anything that touches memory, the
+    branch unit, the divider interlock, or the vector unit."""
+    for op in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.JUMP,
+               OpClass.CALL, OpClass.RET, OpClass.AMO, OpClass.INT_DIV,
+               OpClass.VLOAD, OpClass.VSTORE, OpClass.VALU, OpClass.VFMA):
+        assert op not in SPAN_ELIGIBLE
+
+
+# ------------------------------------------------------------ producers
+
+def test_span_links_latest_in_span_producer():
+    b = TraceBuilder()
+    b.alu(dst=3, src1=1, src2=2)           # 0: writes r3
+    b.alu(dst=4, src1=3, src2=1)           # 1: reads r3 <- op 0
+    b.alu(dst=3, src1=2, src2=2)           # 2: rewrites r3
+    b.alu(dst=5, src1=3, src2=4)           # 3: reads r3 <- op 2, r4 <- op 1
+    for _ in range(MIN_SPAN):
+        b.alu(dst=6, src1=6, src2=6)
+    tr = b.build()
+    (span,) = build_spans(tr)
+    assert span.prod1[1] == 0
+    assert span.prod1[3] == 2
+    assert span.prod2[3] == 1
+    assert span.prod1[0] == -1  # r1 has no in-span writer
+
+
+def test_solve_span_matches_width_packing():
+    """On a 1-wide core with unit latencies and no dependences, ops issue
+    one per cycle — the closed form must reproduce exactly that."""
+    b = TraceBuilder()
+    for _ in range(MIN_SPAN):
+        b.nop()
+    tr = b.build()
+    (span,) = build_spans(tr)
+    lat = np.ones(len(span), dtype=np.float64)
+    # entry cycle 10 with 0 slots consumed: op k issues at cycle 10 + k
+    sol = solve_span(span, lat, 1, 10.0, 0, 0.0, [0.0] * 64)
+    assert sol is not None
+    issue, d1, d2 = sol
+    assert issue.tolist() == [10.0 + k for k in range(len(span))]
+    assert not d1.any() and not d2.any()
+
+
+# ------------------------------------------------------------ end to end
+
+def test_synthetic_spans_run_bit_identical():
+    """A span-heavy trace must retire uops through the vector engine and
+    still match the reference scalar path bit for bit."""
+    b = TraceBuilder()
+    for rep in range(40):
+        for i in range(48):
+            b.alu(dst=1 + i % 8, src1=1 + (i + 3) % 8, src2=1 + (i + 5) % 8)
+        b.load(dst=9, addr=0x2_0000 + 64 * rep)
+        for i in range(40):
+            b.fp(OpClass.FP_FMA, dst=12 + i % 4, src1=9, src2=12 + (i + 1) % 4)
+        b.branch(taken=rep % 7 == 0)
+    tr = b.build()
+
+    memo.clear_caches()
+    ref = System(ROCKET1.with_(accel="off")).run(tr)
+    memo.clear_caches()
+    reset_global_stats()
+    got = System(ROCKET1.with_(accel="on")).run(tr)
+
+    assert dataclasses.asdict(got) == dataclasses.asdict(ref)
+    g = global_stats()
+    assert g.fastpath_uops > 0, "span engine never fired on a span-heavy trace"
+    assert g.fastpath_uops + g.fallback_uops == ref.instructions

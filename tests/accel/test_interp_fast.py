@@ -1,0 +1,126 @@
+"""Interpreter throughput satellites: the page-backed sparse memory and
+the bounded instruction-decode cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.stats import global_stats, reset_global_stats
+from repro.isa import interp as interp_mod
+from repro.isa.assembler import assemble
+from repro.isa.interp import Interpreter, Memory
+
+
+@pytest.fixture(autouse=True)
+def _cold():
+    interp_mod._DECODE_CACHE.clear()
+    reset_global_stats()
+    yield
+    interp_mod._DECODE_CACHE.clear()
+
+
+# ------------------------------------------------------------ memory
+
+def test_memory_reads_zero_when_untouched():
+    m = Memory()
+    assert m.load(0x1234, 8, signed=False) == 0
+    assert len(m) == 0
+
+
+def test_memory_word_round_trip_and_len():
+    m = Memory()
+    m.store(0x100, 0xDEAD_BEEF_CAFE_F00D, 8)
+    assert m.load(0x100, 8, signed=False) == 0xDEAD_BEEF_CAFE_F00D
+    assert len(m) == 8              # distinct bytes ever stored
+    m.store(0x104, 0xAA, 1)         # overwrite inside the same word
+    assert len(m) == 8
+    assert m.load(0x104, 1, signed=False) == 0xAA
+
+
+def test_memory_sign_extension():
+    m = Memory()
+    m.store(0x40, 0xFF, 1)
+    assert m.load(0x40, 1, signed=True) == -1
+    assert m.load(0x40, 1, signed=False) == 0xFF
+    m.store(0x48, 0x7F, 1)
+    assert m.load(0x48, 1, signed=True) == 0x7F
+    m.store(0x50, 0x8000, 2)
+    assert m.load(0x50, 2, signed=True) == -0x8000
+
+
+def test_memory_page_straddle():
+    """An 8-byte access crossing the 4 KiB page boundary must behave
+    exactly like the byte-granular sparse dict it replaced."""
+    addr = (1 << 12) - 4            # 4 bytes in page 0, 4 in page 1
+    m = Memory()
+    m.store(addr, 0x1122_3344_5566_7788, 8)
+    assert m.load(addr, 8, signed=False) == 0x1122_3344_5566_7788
+    assert len(m) == 8
+    # byte-level view agrees across the boundary
+    assert m.load(addr + 3, 1, signed=False) == 0x55
+    assert m.load(addr + 4, 1, signed=False) == 0x44
+    # partial reads crossing the boundary
+    assert m.load(addr + 2, 4, signed=False) == 0x3344_5566
+
+
+def test_memory_straddling_load_sees_separate_stores():
+    m = Memory()
+    page = 1 << 12
+    m.store(page - 1, 0xAB, 1)
+    m.store(page, 0xCD, 1)
+    assert m.load(page - 1, 2, signed=False) == 0xCDAB
+
+
+# ------------------------------------------------------------ decode cache
+
+def _loop_program():
+    return assemble("""
+        addi x5, x0, 0
+        addi x6, x0, 100
+    loop:
+        addi x5, x5, 1
+        blt  x5, x6, loop
+        ecall
+    """)
+
+
+def test_decode_cache_counts_and_reuse():
+    prog = _loop_program()
+    Interpreter(prog, trace=False).run()
+    g = global_stats()
+    assert g.decode_misses == len(prog)
+    assert g.decode_hits == 0       # decode happens once per program word
+    # a second interpreter over the same words decodes fully from cache
+    Interpreter(prog, trace=False).run()
+    assert g.decode_hits == len(prog)
+    assert g.decode_misses == len(prog)
+
+
+def test_decode_cache_is_eviction_free_and_bounded():
+    prog = _loop_program()
+    Interpreter(prog, trace=False)
+    cached = dict(interp_mod._DECODE_CACHE)
+    Interpreter(prog, trace=False)
+    assert dict(interp_mod._DECODE_CACHE) == cached   # nothing evicted
+    assert interp_mod._DECODE_CACHE_BOUND >= 1 << 16
+
+    # at the bound the cache stops growing instead of evicting
+    interp_mod._DECODE_CACHE.clear()
+    try:
+        interp_mod._DECODE_CACHE.update(
+            (i, None) for i in range(interp_mod._DECODE_CACHE_BOUND))
+        Interpreter(prog, trace=False)
+        assert len(interp_mod._DECODE_CACHE) == interp_mod._DECODE_CACHE_BOUND
+    finally:
+        interp_mod._DECODE_CACHE.clear()
+
+
+def test_interpreter_results_unchanged_by_cache():
+    """Same architectural outcome whether words decode cold or cached."""
+    prog = _loop_program()
+    a = Interpreter(prog, trace=False)
+    a.run()
+    b = Interpreter(prog, trace=False)   # fully cache-served decode
+    b.run()
+    assert a.regs == b.regs
+    assert a.retired == b.retired
