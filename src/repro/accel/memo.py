@@ -75,9 +75,13 @@ def trace_digest(trace) -> str:
     """sha-256 over a trace's column arrays; cached per trace object."""
     key = id(trace)
     hit = _digests.get(key)
-    if hit is not None and hit[0] is trace:
-        _digests.move_to_end(key)
-        return hit[1]
+    if hit is not None:
+        if hit[0] is trace:
+            _digests.move_to_end(key)
+            return hit[1]
+        # id() reuse: the pinned trace died elsewhere (e.g. clear_caches
+        # raced) and CPython recycled its address.  Purge, then rehash.
+        del _digests[key]
     h = hashlib.sha256()
     for name in _TRACE_COLUMNS:
         arr = np.ascontiguousarray(getattr(trace, name))
@@ -106,9 +110,11 @@ def trace_arrays(trace) -> dict[str, Any]:
     """
     key = id(trace)
     hit = _arrays.get(key)
-    if hit is not None and hit[0] is trace:
-        _arrays.move_to_end(key)
-        return hit[1]
+    if hit is not None:
+        if hit[0] is trace:
+            _arrays.move_to_end(key)
+            return hit[1]
+        del _arrays[key]  # id() reuse after an external purge: rebuild
     from .fastpath import build_spans
     view: dict[str, Any] = {
         "op": trace.op.tolist(),

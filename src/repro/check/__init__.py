@@ -1,0 +1,46 @@
+"""repro.check: property-based differential checking of the whole stack.
+
+The paper validates one implementation of RISC-V against another
+(FireSim models vs SpacemiT/SOPHON silicon); this package does the same
+thing internally and adversarially.  A seeded generator builds programs
+around the ISA's sharp edges, and a differential oracle runs each one
+through every independent execution path the repo ships — interpreter vs
+golden bit-level semantics, ``accel=on`` vs ``accel=off`` timing,
+checkpoint/restore vs straight-through, farm vs serial — plus an
+invariant lint over the telemetry.  Failures are shrunk to minimal
+repros and pinned in ``tests/check/corpus/``.
+
+See ``docs/checking.md`` for the workflow, and ``repro check --seeds N``
+for the CLI entry point.
+"""
+
+from .golden import CANONICAL_NAN_BITS, GoldenMachine
+from .oracle import (Divergence, diff_accel, diff_checkpoint, diff_farm,
+                     diff_golden, lint_invariants, run_program)
+from .progen import BLOCK_KINDS, CheckProgram, generate_program
+from .runner import ALL_TIERS, CheckReport, run_check
+from .shrink import (CORPUS_DIR, load_corpus, replay_entries, shrink_program,
+                     write_corpus_entry)
+
+__all__ = [
+    "ALL_TIERS",
+    "BLOCK_KINDS",
+    "CANONICAL_NAN_BITS",
+    "CORPUS_DIR",
+    "CheckProgram",
+    "CheckReport",
+    "Divergence",
+    "GoldenMachine",
+    "diff_accel",
+    "diff_checkpoint",
+    "diff_farm",
+    "diff_golden",
+    "generate_program",
+    "lint_invariants",
+    "load_corpus",
+    "replay_entries",
+    "run_check",
+    "run_program",
+    "shrink_program",
+    "write_corpus_entry",
+]

@@ -1,0 +1,323 @@
+"""Seeded property-based RISC-V program generator for differential checking.
+
+Programs are emitted as assembly source (assembled with
+:func:`repro.isa.assembler.assemble`) and are terminating by
+construction: control flow is forward branches, bounded
+counter-decrement loops, and calls to leaf routines placed after the
+final ``ecall``.  Each program is a prologue that plants adversarial
+constants (arithmetic edge values, page-straddling pointers, FP NaN and
+rounding corners) followed by a seeded mix of stress blocks:
+
+``alu_storm``      random R/I-type integer ops over the edge pool
+``div_corners``    div/rem and the w-variants on overflow/zero pairs
+``shift_mix``      shifts at boundary amounts via both imm and register
+``mem_straddle``   loads/stores across 4 KiB page and address-space ends
+``fp_corners``     NaN/±0/inf/denormal arithmetic, min/max, converts
+``branch_maze``    dense forward-branch skips over short snippets
+``loop_block``     a bounded loop with mixed work in the body
+``call_block``     jal to a leaf routine that computes and returns
+
+The generator only ever *writes* registers from its own pool (x0 is
+included deliberately: writes must be ignored identically everywhere),
+so the reserved counter/base/link registers stay stable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..isa.assembler import assemble
+
+__all__ = ["CheckProgram", "generate_program", "BLOCK_KINDS"]
+
+_M64 = (1 << 64) - 1
+
+#: interesting 64-bit integer constants (signed-overflow, masks, edges)
+EDGE_INTS = (
+    0, 1, 2, -1, -2, 0x7FF, -0x800,
+    (1 << 31) - 1, 1 << 31, -(1 << 31), (1 << 32) - 1, 1 << 32,
+    (1 << 63) - 1, -(1 << 63), -(1 << 62), 0x5555_5555_5555_5555,
+    0xAAAA_AAAA_AAAA_AAAA, 0x8000_0000_0000_0001, 63, 64, 31, 32,
+)
+
+#: interesting double bit patterns (planted via fmv.d.x)
+EDGE_FP_BITS = (
+    0x0000_0000_0000_0000,  # +0.0
+    0x8000_0000_0000_0000,  # -0.0
+    0x3FF0_0000_0000_0000,  # 1.0
+    0xBFF0_0000_0000_0000,  # -1.0
+    0x7FF0_0000_0000_0000,  # +inf
+    0xFFF0_0000_0000_0000,  # -inf
+    0x7FF8_0000_0000_0000,  # canonical quiet NaN
+    0x7FF8_DEAD_BEEF_0001,  # quiet NaN with a payload
+    0x7FF0_0000_0000_0001,  # signalling NaN
+    0x0000_0000_0000_0001,  # smallest subnormal
+    0x000F_FFFF_FFFF_FFFF,  # largest subnormal
+    0x7FEF_FFFF_FFFF_FFFF,  # largest finite
+    0x3FF0_0000_0000_0001,  # 1.0 + ulp (rounding corners)
+    0x4330_0000_0000_0000,  # 2^52
+    0x41E0_0000_0000_0000,  # 2^31
+    0xC3E0_0000_0000_0000,  # -2^63
+    0x3810_0000_0000_0000,  # ~f32 subnormal territory
+    0x47F0_0000_0000_0000,  # > f32 max (overflow on narrowing)
+)
+
+#: base address of the scratch data region (well clear of the text)
+DATA_BASE = 0x20_0000
+#: distance from DATA_BASE to its next 4 KiB page boundary
+_PAGE = 4096
+
+#: registers the generator may write (x0 on purpose; see module doc)
+_WRITABLE = (0, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17, 28, 29)
+#: registers holding planted constants / pointers (read-mostly)
+_POOL = (5, 6, 7, 10, 11, 12, 13, 14, 15)
+_BASES = (18, 19, 20)      # data pointers (s2..s4)
+_COUNTER = 30              # loop counter (t5)
+_LINK = 1                  # ra, reserved for call blocks
+_FREGS = tuple(range(10))  # f0..f9 hold planted FP constants
+
+_INT_R = ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or",
+          "and", "addw", "subw", "sllw", "srlw", "sraw", "mul", "mulh",
+          "mulhsu", "mulhu", "mulw")
+_DIV_R = ("div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw")
+_INT_I = ("addi", "slti", "sltiu", "xori", "ori", "andi", "addiw")
+_SHIFT_I = ("slli", "srli", "srai", "slliw", "srliw", "sraiw")
+_LOADS = ("lb", "lbu", "lh", "lhu", "lw", "lwu", "ld")
+_STORES = ("sb", "sh", "sw", "sd")
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+_FP_ARITH = ("fadd.d", "fsub.d", "fmul.d", "fdiv.d",
+             "fadd.s", "fsub.s", "fmul.s", "fdiv.s")
+_FP_MINMAX = ("fmin.d", "fmax.d")
+_FP_SIGN = ("fsgnj.d", "fsgnjn.d", "fsgnjx.d")
+_FP_CMP = ("feq.d", "flt.d", "fle.d")
+_FP_FMA = ("fmadd.d", "fmsub.d", "fnmsub.d", "fnmadd.d")
+_FP_CVT = ("fcvt.w.d", "fcvt.l.d", "fcvt.s.d", "fcvt.d.s", "fsqrt.d")
+
+
+@dataclass
+class CheckProgram:
+    """A generated (or corpus-loaded) checking program."""
+
+    seed: int
+    source: str
+    base: int = 0x1_0000
+    blocks: list[str] = field(default_factory=list)
+
+    @property
+    def words(self) -> list[int]:
+        return assemble(self.source, base=self.base)
+
+
+def _li64(rd: str, value: int) -> list[str]:
+    """Load an arbitrary 64-bit constant: 9-bit seed + 5x(slli 11; ori)."""
+    v = value & _M64
+    out = [f"li {rd}, {v >> 55}"]
+    for k in range(4, -1, -1):
+        chunk = (v >> (11 * k)) & 0x7FF
+        out.append(f"slli {rd}, {rd}, 11")
+        if chunk:
+            out.append(f"ori {rd}, {rd}, {chunk}")
+    return out
+
+
+class _Gen:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.lines: list[str] = []
+        self.leaves: list[str] = []
+        self.blocks: list[str] = []
+        self._label = 0
+
+    def label(self, stem: str) -> str:
+        self._label += 1
+        return f"{stem}_{self._label}"
+
+    def xr(self) -> str:
+        """A pool register to read."""
+        return f"x{self.rng.choice(_POOL)}"
+
+    def xw(self) -> str:
+        """A register to write (may be x0)."""
+        return f"x{self.rng.choice(_WRITABLE)}"
+
+    def fr(self) -> str:
+        return f"f{self.rng.choice(_FREGS)}"
+
+    def fw(self) -> str:
+        return f"f{self.rng.randrange(32)}"
+
+    # -- prologue --------------------------------------------------------
+
+    def prologue(self) -> None:
+        rng = self.rng
+        self.lines.append(f"# repro.check program, seed={self.seed}")
+        for idx in _POOL:
+            self.lines += _li64(f"x{idx}", rng.choice(EDGE_INTS))
+        # data pointers: one page-aligned, one just short of a page
+        # boundary, one at the very top of the address space
+        offs = (0, _PAGE - rng.choice((1, 2, 3, 4, 7, 8)),
+                -rng.choice((4, 8, 12, 16)))
+        for reg, off in zip(_BASES, offs):
+            addr = (DATA_BASE + off) & _M64 if off >= 0 else off & _M64
+            self.lines += _li64(f"x{reg}", addr)
+        for i in _FREGS:
+            bits = rng.choice(EDGE_FP_BITS)
+            self.lines += _li64("x31", bits)
+            self.lines.append(f"fmv.d.x f{i}, x31")
+
+    # -- blocks ----------------------------------------------------------
+
+    def blk_alu_storm(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randrange(6, 14)):
+            if rng.random() < 0.5:
+                self.lines.append(
+                    f"{rng.choice(_INT_R)} {self.xw()}, {self.xr()}, {self.xr()}")
+            else:
+                imm = rng.choice((-2048, -1, 0, 1, 7, 2047, rng.randrange(-2048, 2048)))
+                self.lines.append(
+                    f"{rng.choice(_INT_I)} {self.xw()}, {self.xr()}, {imm}")
+
+    def blk_div_corners(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randrange(4, 9)):
+            self.lines.append(
+                f"{rng.choice(_DIV_R)} {self.xw()}, {self.xr()}, {self.xr()}")
+
+    def blk_shift_mix(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randrange(4, 10)):
+            if rng.random() < 0.5:
+                op = rng.choice(_SHIFT_I)
+                hi = 31 if op.endswith("w") else 63
+                amt = rng.choice((0, 1, hi - 1, hi, rng.randrange(hi + 1)))
+                self.lines.append(f"{op} {self.xw()}, {self.xr()}, {amt}")
+            else:
+                op = rng.choice(("sll", "srl", "sra", "sllw", "srlw", "sraw"))
+                self.lines.append(f"{op} {self.xw()}, {self.xr()}, {self.xr()}")
+
+    def blk_mem_straddle(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randrange(4, 10)):
+            base = f"x{rng.choice(_BASES)}"
+            off = rng.choice((-8, -4, -1, 0, 1, 2, 3, 4, 5, 7, 8, 12,
+                              rng.randrange(-64, 64)))
+            if rng.random() < 0.55:
+                self.lines.append(f"{rng.choice(_STORES)} {self.xr()}, {off}({base})")
+            else:
+                self.lines.append(f"{rng.choice(_LOADS)} {self.xw()}, {off}({base})")
+        if rng.random() < 0.5:  # FP spill/fill through the same pointers
+            base = f"x{rng.choice(_BASES)}"
+            off = rng.choice((-8, -4, 0, 4, 8))
+            self.lines.append(f"fsd {self.fr()}, {off}({base})")
+            self.lines.append(f"fld {self.fw()}, {off}({base})")
+            self.lines.append(f"fsw {self.fr()}, {off}({base})")
+            self.lines.append(f"flw {self.fw()}, {off}({base})")
+
+    def blk_fp_corners(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randrange(5, 12)):
+            roll = rng.random()
+            if roll < 0.35:
+                self.lines.append(
+                    f"{rng.choice(_FP_ARITH)} {self.fw()}, {self.fr()}, {self.fr()}")
+            elif roll < 0.55:
+                op = rng.choice(_FP_MINMAX + _FP_SIGN)
+                self.lines.append(f"{op} {self.fw()}, {self.fr()}, {self.fr()}")
+            elif roll < 0.7:
+                self.lines.append(
+                    f"{rng.choice(_FP_CMP)} {self.xw()}, {self.fr()}, {self.fr()}")
+            elif roll < 0.85:
+                op = rng.choice(_FP_CVT)
+                if op in ("fcvt.w.d", "fcvt.l.d"):
+                    self.lines.append(f"{op} {self.xw()}, {self.fr()}")
+                else:
+                    self.lines.append(f"{op} {self.fw()}, {self.fr()}")
+            else:
+                self.lines.append(
+                    f"{rng.choice(_FP_FMA)} {self.fw()}, {self.fr()}, "
+                    f"{self.fr()}, {self.fr()}")
+        if rng.random() < 0.4:  # cross the register files
+            self.lines.append(f"fmv.x.d {self.xw()}, {self.fr()}")
+            self.lines.append(f"fcvt.d.l {self.fw()}, {self.xr()}")
+
+    def blk_branch_maze(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randrange(2, 5)):
+            skip = self.label("skip")
+            self.lines.append(
+                f"{rng.choice(_BRANCHES)} {self.xr()}, {self.xr()}, {skip}")
+            for _ in range(rng.randrange(1, 4)):
+                self.lines.append(
+                    f"{rng.choice(_INT_R)} {self.xw()}, {self.xr()}, {self.xr()}")
+            self.lines.append(f"{skip}:")
+
+    def blk_loop_block(self) -> None:
+        rng = self.rng
+        top = self.label("loop")
+        count = rng.randrange(2, 7)
+        self.lines.append(f"li x{_COUNTER}, {count}")
+        self.lines.append(f"{top}:")
+        for _ in range(rng.randrange(2, 6)):
+            self.lines.append(
+                f"{rng.choice(_INT_R)} {self.xw()}, {self.xr()}, {self.xr()}")
+        if rng.random() < 0.4:
+            base = f"x{rng.choice(_BASES)}"
+            self.lines.append(f"sd x{_COUNTER}, 16({base})")
+        self.lines.append(f"addi x{_COUNTER}, x{_COUNTER}, -1")
+        self.lines.append(f"bnez x{_COUNTER}, {top}")
+
+    def blk_call_block(self) -> None:
+        rng = self.rng
+        leaf = self.label("leaf")
+        self.lines.append(f"call {leaf}")
+        body = [f"{leaf}:"]
+        for _ in range(rng.randrange(2, 6)):
+            body.append(
+                f"{rng.choice(_INT_R)} {self.xw()}, {self.xr()}, {self.xr()}")
+        body.append("ret")
+        self.leaves += body
+
+    # -- assembly --------------------------------------------------------
+
+    def build(self, n_blocks: int) -> CheckProgram:
+        menu = (
+            ("alu_storm", self.blk_alu_storm, 3),
+            ("div_corners", self.blk_div_corners, 2),
+            ("shift_mix", self.blk_shift_mix, 2),
+            ("mem_straddle", self.blk_mem_straddle, 3),
+            ("fp_corners", self.blk_fp_corners, 3),
+            ("branch_maze", self.blk_branch_maze, 2),
+            ("loop_block", self.blk_loop_block, 1),
+            ("call_block", self.blk_call_block, 1),
+        )
+        names = [m[0] for m in menu]
+        weights = [m[2] for m in menu]
+        fns = {m[0]: m[1] for m in menu}
+        self.prologue()
+        for _ in range(n_blocks):
+            pick = self.rng.choices(names, weights=weights)[0]
+            self.blocks.append(pick)
+            self.lines.append(f"# block: {pick}")
+            fns[pick]()
+        self.lines.append("ecall")
+        self.lines += self.leaves
+        source = "\n".join(self.lines) + "\n"
+        return CheckProgram(seed=self.seed, source=source, blocks=self.blocks)
+
+
+#: the block kinds a seed may draw from
+BLOCK_KINDS = ("alu_storm", "div_corners", "shift_mix", "mem_straddle",
+               "fp_corners", "branch_maze", "loop_block", "call_block")
+
+
+def generate_program(seed: int, n_blocks: int | None = None) -> CheckProgram:
+    """Deterministically generate one checking program from *seed*."""
+    gen = _Gen(seed)
+    if n_blocks is None:
+        n_blocks = gen.rng.randrange(5, 11)
+    prog = gen.build(n_blocks)
+    prog.words  # assemble now: a generator bug should fail here, loudly
+    return prog

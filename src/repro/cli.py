@@ -34,6 +34,12 @@ Commands
     Time the microbench sweep with ``accel`` off then on plus the
     functional interpreter, verify bit-identity, and write the tracked
     ``BENCH_<n>.json`` record (see ``docs/performance.md``).
+``check [--seeds N] [--tiers T,U] [--accel-all] [--no-shrink]``
+    Property-based differential checking: fuzz generated RISC-V programs
+    through the interpreter-vs-golden, accel on/off, checkpoint/restore,
+    and farm-vs-serial oracles plus the telemetry invariant lint;
+    shrink any divergence into ``tests/check/corpus/``
+    (see ``docs/checking.md``).
 """
 
 from __future__ import annotations
@@ -182,6 +188,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the benchmark record here (e.g. BENCH_4.json)")
     b.add_argument("--json", action="store_true",
                    help="print the full record as JSON instead of a summary")
+
+    chk = sub.add_parser("check",
+                         help="differential fuzzing across every oracle")
+    chk.add_argument("--seeds", type=int, default=25,
+                     help="number of generated programs")
+    chk.add_argument("--start-seed", type=int, default=0)
+    chk.add_argument("--tiers", default=None,
+                     help="comma-separated oracle tiers "
+                          "(default: golden,lint,accel,checkpoint,farm)")
+    chk.add_argument("--configs", default=None,
+                     help="comma-separated SoC configs for the accel tier "
+                          "(default: a rotating pair per seed)")
+    chk.add_argument("--accel-all", action="store_true",
+                     help="run every named config on every seed")
+    chk.add_argument("--no-shrink", action="store_true",
+                     help="report divergences without shrinking to corpus")
+    chk.add_argument("--corpus-dir", default=None,
+                     help="where shrunk repros go "
+                          "(default: tests/check/corpus/)")
+    chk.add_argument("--quiet", action="store_true",
+                     help="suppress per-seed progress lines")
     return p
 
 
@@ -478,6 +505,25 @@ def main(argv: list[str] | None = None) -> int:
             write_bench_json(record, args.out)
             print(f"wrote {args.out}")
         return 0 if record["suite"]["identical"] else 1
+
+    if args.command == "check":
+        from pathlib import Path
+
+        from .check import ALL_TIERS, run_check
+
+        tiers = ([t for t in args.tiers.split(",") if t]
+                 if args.tiers else ALL_TIERS)
+        configs = ([c for c in args.configs.split(",") if c]
+                   if args.configs else None)
+        report = run_check(
+            seeds=args.seeds, start_seed=args.start_seed, tiers=tiers,
+            accel_configs=configs, accel_all=args.accel_all,
+            shrink=not args.no_shrink,
+            corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+            progress=None if args.quiet
+            else (lambda msg: print(msg, file=sys.stderr)))
+        print(report.summary())
+        return 0 if report.ok else 1
 
     if args.command == "npb":
         res = NPB_RUNNERS[args.bench](get_config(args.config),

@@ -59,7 +59,7 @@ class Job:
     """One independent simulation: config + workload + ranks + seed."""
 
     config: SoCConfig
-    kind: str                   #: "kernel" | "npb" | "selftest"
+    kind: str                   #: "kernel" | "npb" | "selftest" | "checkprog"
     workload: str               #: kernel name / NPB benchmark / selftest mode
     seed: int = 0
     ranks: int = 1
@@ -109,6 +109,23 @@ class Job:
         """An NPB benchmark run across *ranks* MPI ranks."""
         return cls(config=config, kind="npb", workload=benchmark, ranks=ranks,
                    params=(("cls", npb_class),), timeout_s=timeout_s)
+
+    @classmethod
+    def checkprog(cls, config: SoCConfig, name: str, source: str,
+                  base: int = 0x1_0000, fuel: int = 200_000,
+                  timeout_s: float | None = None) -> "Job":
+        """A differential-checking program (see :mod:`repro.check`).
+
+        *source* is RISC-V assembly text; the worker assembles it,
+        interprets it for its micro-op trace, and times the trace on
+        *config*.  The payload carries the full architectural result
+        (register files, memory digest) plus the timing summary, so a
+        farmed run can be diffed bit-for-bit against a serial one.
+        """
+        return cls(config=config, kind="checkprog", workload=name,
+                   params=(("base", int(base)), ("fuel", int(fuel)),
+                           ("source", source)),
+                   timeout_s=timeout_s)
 
     @classmethod
     def selftest(cls, mode: str = "ok", config: SoCConfig | None = None,
@@ -347,6 +364,58 @@ def _run_npb_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     }
 
 
+def _run_checkprog_job(job: Job, attempt: int,
+                       ctx: ExecContext) -> dict[str, Any]:
+    """Assemble, interpret, and time one differential-checking program.
+
+    The payload is the complete observable outcome — architectural
+    register files (FP as raw bit patterns), a memory digest, and the
+    timing/telemetry summary — so ``repro.check``'s farm oracle can
+    require bit-identity between serial and farmed execution.
+    """
+    import hashlib
+    import struct as _struct
+
+    from ..isa.assembler import assemble
+    from ..isa.interp import Interpreter
+    from ..soc.system import System
+    from ..telemetry import StatsRegistry
+
+    base = int(job.param("base", 0x1_0000))
+    words = assemble(str(job.param("source")), base=base)
+    interp = Interpreter(words, base=base, trace=True)
+    trace = interp.run(int(job.param("fuel", 200_000)))
+
+    mem_digest = hashlib.sha256()
+    for pno in sorted(interp.mem._pages):
+        mem_digest.update(pno.to_bytes(16, "little"))
+        mem_digest.update(bytes(interp.mem._pages[pno]))
+
+    system = System(job.config)
+    registry = StatsRegistry(system)
+    snap_base = registry.snapshot()
+    result = system.run(trace)
+    delta = registry.delta(snap_base)
+    delta.data.pop("accel", None)  # process-wide, not a job property
+
+    def _fbits(v: float) -> int:
+        return _struct.unpack("<Q", _struct.pack("<d", v))[0]
+
+    return {
+        "kind": "checkprog",
+        "config": job.config.name,
+        "workload": job.workload,
+        "retired": int(interp.retired),
+        "xregs": [int(r) for r in interp.regs],
+        "fregs": [_fbits(f) for f in interp.fregs],
+        "mem_sha256": mem_digest.hexdigest(),
+        "cycles": int(result.cycles),
+        "instructions": int(result.instructions),
+        "stalls": {k: int(v) for k, v in sorted(result.stalls.items())},
+        "telemetry": delta.data,
+    }
+
+
 def _run_selftest_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     mode = job.workload
     if mode == "raise":
@@ -369,6 +438,7 @@ JOB_KINDS: dict[str, Callable[[Job, int, ExecContext], dict[str, Any]]] = {
     "kernel": _run_kernel_job,
     "npb": _run_npb_job,
     "selftest": _run_selftest_job,
+    "checkprog": _run_checkprog_job,
 }
 
 

@@ -91,7 +91,7 @@ class Memory:
         else:  # straddles a page boundary: assemble byte by byte
             val = 0
             for i in range(size):
-                a = addr + i
+                a = (addr + i) & _MASK64  # wrap at the top of the space
                 page = self._pages.get(a >> _PAGE_SHIFT)
                 if page is not None:
                     val |= page[a & _PAGE_MASK] << (8 * i)
@@ -112,7 +112,7 @@ class Memory:
                                   | ((1 << size) - 1) << off)
         else:
             for i in range(size):
-                a = addr + i
+                a = (addr + i) & _MASK64  # wrap at the top of the space
                 pno = a >> _PAGE_SHIFT
                 page = self._pages.get(pno)
                 if page is None:
@@ -314,6 +314,16 @@ def _float_of_f32(bits: int) -> float:
     return float(struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0])
 
 
+#: The RISC-V canonical quiet NaN (sign 0, quiet bit set, payload 0).
+#: Arithmetic may not leak the host's default NaN (negative on x86) or
+#: propagate input payloads; every computed NaN becomes this value.
+_CANON_NAN = _float_of(0x7FF8_0000_0000_0000)
+
+
+def _canon(v: float) -> float:
+    return _CANON_NAN if math.isnan(v) else v
+
+
 def _exec_fp(self, ins: Instr, b, rs1_val: int) -> None:
     """Floating-point execution semantics (called from Interpreter._exec)."""
     m = ins.mnemonic
@@ -354,26 +364,33 @@ def _exec_fp(self, ins: Instr, b, rs1_val: int) -> None:
                 out = -prod + d3
             else:  # fnmadd.d
                 out = -prod - d3
-            fregs[ins.rd] = float(out)
+            fregs[ins.rd] = _canon(float(out))
         elif m in ("fadd.d", "fsub.d", "fmul.d", "fdiv.d"):
             out = {"fadd.d": np.float64(a) + c,
                    "fsub.d": np.float64(a) - c,
                    "fmul.d": np.float64(a) * c,
                    "fdiv.d": np.float64(a) / c}[m]
-            fregs[ins.rd] = float(out)
+            fregs[ins.rd] = _canon(float(out))
         elif m in ("fadd.s", "fsub.s", "fmul.s", "fdiv.s"):
             fa, fc = np.float32(a), np.float32(c)
             out = {"fadd.s": fa + fc, "fsub.s": fa - fc,
                    "fmul.s": fa * fc, "fdiv.s": fa / fc}[m]
-            fregs[ins.rd] = float(np.float32(out))
+            fregs[ins.rd] = _canon(float(np.float32(out)))
         elif m == "fsqrt.d":
-            fregs[ins.rd] = float(np.sqrt(np.float64(a)))
+            fregs[ins.rd] = _canon(float(np.sqrt(np.float64(a))))
         elif m in ("fmin.d", "fmax.d"):
-            # RISC-V: if one input is NaN, return the other
-            if math.isnan(a):
+            # RISC-V: a NaN input yields the other operand (canonical NaN
+            # if both are NaN), and zeros compare by sign bit so
+            # fmin(+0,-0) is -0 and fmax(-0,+0) is +0.
+            if math.isnan(a) and math.isnan(c):
+                fregs[ins.rd] = _CANON_NAN
+            elif math.isnan(a):
                 fregs[ins.rd] = c
             elif math.isnan(c):
                 fregs[ins.rd] = a
+            elif a == c:  # equal magnitudes: break the +-0 tie by sign
+                a_neg = math.copysign(1.0, a) < 0
+                fregs[ins.rd] = (a if a_neg == (m == "fmin.d") else c)
             else:
                 fregs[ins.rd] = min(a, c) if m == "fmin.d" else max(a, c)
         elif m.startswith("fsgnj"):
@@ -397,6 +414,8 @@ def _exec_fp(self, ins: Instr, b, rs1_val: int) -> None:
             lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
             if math.isnan(a):
                 res = hi
+            elif math.isinf(a):  # int(inf) raises; clamp like hardware
+                res = hi if a > 0 else lo
             else:
                 res = min(max(int(a), lo), hi)  # trunc toward zero
             self._wr(ins.rd, res & _MASK64)
@@ -404,9 +423,9 @@ def _exec_fp(self, ins: Instr, b, rs1_val: int) -> None:
             src = _s32(rs1_val) if m == "fcvt.d.w" else _s64(rs1_val)
             fregs[ins.rd] = float(src)
         elif m == "fcvt.s.d":
-            fregs[ins.rd] = float(np.float32(a))
+            fregs[ins.rd] = _canon(float(np.float32(a)))
         elif m == "fcvt.d.s":
-            fregs[ins.rd] = float(np.float32(a))
+            fregs[ins.rd] = _canon(float(np.float32(a)))
         elif m == "fmv.x.d":
             self._wr(ins.rd, _bits_of(a))
         elif m == "fmv.d.x":

@@ -81,6 +81,14 @@ class LockstepWatchdog:
         times = {i: scheduler.lanes[i].local_time() for i in live}
         leaked = [i for i, ch in enumerate(scheduler.channels)
                   if ch.occupancy != 0]
+        if self._last_times is not None and any(
+                times[i] < self._last_times[i]
+                for i in times if i in self._last_times):
+            # A lane clock moved backward: the scheduler was rewound
+            # (checkpoint restore) under us.  Re-arm from the new
+            # baseline instead of flagging the rewind as a stall.
+            self._last_times = None
+            self.stats.stalled_quanta = 0
         progressed = (
             self._last_times is None
             or set(times) != set(self._last_times)  # a lane finished

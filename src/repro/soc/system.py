@@ -288,6 +288,12 @@ class System:
         scheduler = LockstepScheduler(quantum=int(ckpt.scheduler["quantum"]))
         scheduler.bind(list(lanes))
         scheduler.load_state(ckpt.scheduler)
+        if watchdog is not None:
+            # A watchdog carried over from the pre-crash run still holds
+            # that run's lane clocks; restored lanes resume from the
+            # checkpointed (earlier) position, which stale state would
+            # misread as "no progress" and escalate to a spurious hang.
+            watchdog.reset()
         chunk = lanes[0].chunk if lanes else 2048
         return ParallelRun(self, traces, chunk=chunk,
                            watchdog=watchdog, fault_plan=fault_plan,

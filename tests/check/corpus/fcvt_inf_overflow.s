@@ -1,0 +1,13 @@
+# repro.check shrunk regression
+# oracle: golden
+# seed: 11
+# divergence: crash:OverflowError fcvt of infinity
+li x31, 255
+slli x31, x31, 11
+ori x31, x31, 1792
+slli x31, x31, 11
+slli x31, x31, 11
+slli x31, x31, 11
+slli x31, x31, 11
+fmv.d.x f3, x31
+fcvt.w.d x7, f3

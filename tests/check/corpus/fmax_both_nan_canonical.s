@@ -1,0 +1,19 @@
+# repro.check shrunk regression
+# oracle: golden
+# seed: -1
+# divergence: f2: interp=0x7ff8deadbeef0001 golden=0x7ff8000000000000
+li x5, 255
+slli x5, x5, 11
+ori x5, x5, 1933
+slli x5, x5, 11
+ori x5, x5, 1878
+slli x5, x5, 11
+ori x5, x5, 1787
+slli x5, x5, 11
+ori x5, x5, 1504
+slli x5, x5, 11
+ori x5, x5, 1
+fmv.d.x f0, x5
+fmv.d.x f1, x5
+fmax.d f2, f0, f1
+ecall

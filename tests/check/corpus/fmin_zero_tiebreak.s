@@ -1,0 +1,14 @@
+# repro.check shrunk regression
+# oracle: golden
+# seed: -1
+# divergence: f2: interp=0x0000000000000000 golden=0x8000000000000000
+li x5, 256
+slli x5, x5, 11
+slli x5, x5, 11
+slli x5, x5, 11
+slli x5, x5, 11
+slli x5, x5, 11
+fmv.d.x f1, x5
+fmv.d.x f0, x0
+fmin.d f2, f0, f1
+ecall

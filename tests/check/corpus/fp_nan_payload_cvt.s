@@ -1,0 +1,13 @@
+# repro.check shrunk regression
+# oracle: golden
+# seed: 5
+# divergence: freg NaN payload propagated uncanonicalized
+li x31, 255
+slli x31, x31, 11
+ori x31, x31, 1933
+slli x31, x31, 11
+slli x31, x31, 11
+slli x31, x31, 11
+slli x31, x31, 11
+fmv.d.x f6, x31
+fadd.s f31, f4, f6

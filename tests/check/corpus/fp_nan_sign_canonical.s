@@ -1,0 +1,5 @@
+# repro.check shrunk regression
+# oracle: golden
+# seed: 2
+# divergence: freg NaN with sign bit set (host default NaN)
+fdiv.s f14, f8, f0

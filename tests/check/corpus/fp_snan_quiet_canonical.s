@@ -1,0 +1,14 @@
+# repro.check shrunk regression
+# oracle: golden
+# seed: 3
+# divergence: freg 0x7ff8000000000001: quieted sNaN payload kept
+li x31, 255
+slli x31, x31, 11
+ori x31, x31, 1792
+slli x31, x31, 11
+slli x31, x31, 11
+slli x31, x31, 11
+slli x31, x31, 11
+ori x31, x31, 1
+fmv.d.x f1, x31
+fmul.d f24, f0, f1

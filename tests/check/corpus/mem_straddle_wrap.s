@@ -1,0 +1,5 @@
+# repro.check shrunk regression
+# oracle: golden
+# seed: 0
+# divergence: mem diff survives (page-wrap store)
+sw x7, -1(x20)

@@ -1,0 +1,140 @@
+"""Golden-machine semantics: the reference the fuzzer diffs against."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import CANONICAL_NAN_BITS, GoldenMachine
+from repro.check.golden import _narrow_f64, _widen_f32
+from repro.isa.assembler import assemble
+
+M64 = (1 << 64) - 1
+MIN64 = 1 << 63  # -2^63 as raw bits
+
+
+def run_golden(source: str, base: int = 0x1_0000) -> GoldenMachine:
+    gm = GoldenMachine(assemble(source, base=base), base=base)
+    gm.run(max_instructions=10_000)
+    return gm
+
+
+def test_div_corner_semantics():
+    gm = run_golden(
+        "li x5, 7\n"
+        "li x6, 0\n"
+        "div x10, x5, x6\n"     # /0 -> -1
+        "rem x11, x5, x6\n"     # %0 -> dividend
+        "li x7, 1\n"
+        "slli x7, x7, 63\n"     # INT64_MIN
+        "li x8, -1\n"
+        "div x12, x7, x8\n"     # overflow -> INT64_MIN
+        "rem x13, x7, x8\n"     # overflow -> 0
+        "divu x14, x5, x6\n"    # unsigned /0 -> all ones
+        "ecall\n")
+    assert gm.xregs[10] == M64
+    assert gm.xregs[11] == 7
+    assert gm.xregs[12] == MIN64
+    assert gm.xregs[13] == 0
+    assert gm.xregs[14] == M64
+
+
+def test_word_shift_semantics():
+    gm = run_golden(
+        "li x5, 1\n"
+        "slli x5, x5, 33\n"      # bit 33: w-ops must ignore it
+        "ori x5, x5, 12\n"
+        "li x6, 35\n"            # shift amounts use the low 5 bits: 3
+        "srlw x10, x5, x6\n"
+        "sraw x11, x5, x6\n"
+        "sllw x12, x5, x6\n"
+        "ecall\n")
+    assert gm.xregs[10] == 12 >> 3
+    assert gm.xregs[11] == 12 >> 3
+    assert gm.xregs[12] == (12 << 3) & 0xFFFFFFFF
+
+
+def test_fmin_fmax_zero_and_nan():
+    gm = run_golden(
+        "li x5, 1\n"
+        "slli x5, x5, 63\n"       # -0.0 bits
+        "fmv.d.x f1, x5\n"
+        "fmv.d.x f0, x0\n"        # +0.0
+        "fmin.d f2, f0, f1\n"     # tie: -0.0 wins
+        "fmax.d f3, f1, f0\n"     # tie: +0.0 wins
+        "li x6, 2047\n"
+        "slli x6, x6, 52\n"
+        "ori x6, x6, 99\n"        # a NaN with a payload
+        "fmv.d.x f4, x6\n"
+        "fmin.d f5, f4, f1\n"     # one NaN: the other operand
+        "fmax.d f6, f4, f4\n"     # both NaN: canonical
+        "ecall\n")
+    assert gm.fregs[2] == 1 << 63
+    assert gm.fregs[3] == 0
+    assert gm.fregs[5] == 1 << 63
+    assert gm.fregs[6] == CANONICAL_NAN_BITS
+
+
+def test_arithmetic_nan_is_canonical():
+    gm = run_golden(
+        "fmv.d.x f0, x0\n"
+        "fdiv.d f1, f0, f0\n"     # 0/0
+        "li x5, -1\n"
+        "fcvt.d.l f2, x5\n"
+        "fsqrt.d f3, f2\n"        # sqrt(-1)
+        "ecall\n")
+    assert gm.fregs[1] == CANONICAL_NAN_BITS
+    assert gm.fregs[3] == CANONICAL_NAN_BITS
+
+
+def test_fcvt_inf_and_nan_clamp():
+    gm = run_golden(
+        "li x5, 2047\n"
+        "slli x5, x5, 52\n"       # +inf bits
+        "fmv.d.x f0, x5\n"
+        "fcvt.l.d x10, f0\n"      # +inf -> INT64_MAX
+        "fcvt.w.d x11, f0\n"      # +inf -> INT32_MAX (sext)
+        "li x6, 1\n"
+        "slli x6, x6, 63\n"
+        "or x6, x6, x5\n"         # -inf bits
+        "fmv.d.x f1, x6\n"
+        "fcvt.l.d x12, f1\n"      # -inf -> INT64_MIN
+        "ori x7, x5, 1\n"
+        "fmv.d.x f2, x7\n"
+        "fcvt.l.d x13, f2\n"      # NaN -> INT64_MAX
+        "ecall\n")
+    assert gm.xregs[10] == (1 << 63) - 1
+    assert gm.xregs[11] == 0x7FFFFFFF
+    assert gm.xregs[12] == MIN64
+    assert gm.xregs[13] == (1 << 63) - 1
+
+
+def test_memory_wraps_at_address_space_end():
+    gm = run_golden(
+        "li x5, -4\n"             # 0xFFFF_FFFF_FFFF_FFFC
+        "li x6, 0x12345678\n"
+        "slli x6, x6, 32\n"
+        "ori x6, x6, 2047\n"      # 0x12345678_000007FF
+        "sd x6, 0(x5)\n"          # top 4 bytes wrap to addresses 0..3
+        "ld x10, 0(x5)\n"
+        "li x7, 0\n"
+        "lb x11, 1(x7)\n"         # wrapped byte 5 of the stored value
+        "ecall\n")
+    assert gm.xregs[10] == 0x12345678_000007FF
+    assert gm.xregs[11] == 0x56
+
+
+@pytest.mark.parametrize("bits64,expect32", [
+    # quiet NaN payload truncates into the f32 fraction, quiet bit kept
+    (0x7FF8_DEAD_BEEF_0001, 0x7FC0_0000 | ((0xDEADBEEF0001 >> 29) & 0x3FFFFF)),
+    (0xFFF8_0000_0000_0000, 0xFFC0_0000),  # sign survives the narrow
+    (0x7FF0_0000_0000_0000, 0x7F80_0000),  # inf stays inf
+])
+def test_narrow_f64_nan_payloads(bits64, expect32):
+    assert _narrow_f64(bits64) == expect32
+
+
+def test_widen_f32_quiets_snan():
+    # f32 sNaN 0x7F800001 -> quiet bit set, payload shifted into f64
+    out = _widen_f32(0x7F80_0001)
+    assert out >> 51 == 0xFFF  # exponent all ones + quiet bit
+    assert out & ((1 << 51) - 1) == 1 << 29

@@ -1,0 +1,69 @@
+"""Differential oracle tiers: clean on the fixed tree, sharp on planted bugs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (
+    ALL_TIERS,
+    CheckProgram,
+    diff_accel,
+    diff_checkpoint,
+    diff_farm,
+    diff_golden,
+    generate_program,
+    lint_invariants,
+    run_check,
+    run_program,
+)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 7])
+def test_golden_tier_clean(seed):
+    assert diff_golden(generate_program(seed)) == []
+
+
+def test_golden_flags_a_planted_divergence():
+    # x0 writes are discarded; a program relying on that is fine, but a
+    # doctored golden diff must fire when registers genuinely differ.
+    prog = CheckProgram(seed=0, source="li x10, 1\necall\n")
+    interp = run_program(prog)
+    interp.regs[10] = 2  # corrupt the architectural state post-hoc
+    diffs = diff_golden(prog, interp=interp)
+    assert any(d.startswith("x10:") for d in diffs)
+
+
+def test_lint_invariants_clean():
+    trace = run_program(generate_program(1)).trace_so_far
+    assert lint_invariants(trace) == []
+
+
+def test_accel_tier_clean_one_config():
+    trace = run_program(generate_program(2)).trace_so_far
+    assert diff_accel(trace, config_names=("Rocket1",)) == []
+
+
+def test_checkpoint_tier_clean():
+    trace = run_program(generate_program(4)).trace_so_far
+    assert diff_checkpoint(trace, seed=4) == []
+
+
+def test_farm_tier_clean(tmp_path):
+    progs = [generate_program(s) for s in (0, 1)]
+    assert diff_farm(progs) == []
+
+
+def test_run_check_smoke():
+    report = run_check(seeds=2, tiers=("golden", "lint"), shrink=False)
+    assert report.ok
+    assert report.tier_programs == {"golden": 2, "lint": 2}
+    assert "PASS" in report.summary()
+
+
+def test_run_check_rejects_unknown_tier():
+    with pytest.raises(ValueError, match="unknown tier"):
+        run_check(seeds=1, tiers=("golden", "nope"))
+
+
+def test_all_tiers_is_exhaustive():
+    assert set(ALL_TIERS) == {"golden", "lint", "accel", "checkpoint", "farm"}
