@@ -34,6 +34,12 @@ from .report import (
     render_table,
 )
 from .autotune import ROCKET_KNOBS, TuneResult, TuneStep, autotune
+from .instrument import (
+    flamegraph_folded,
+    interval_cpi,
+    marker_timeline,
+    render_intervals,
+)
 from .error import KernelVariation, noise_floor, seed_variation, significant
 from .roofline import MachineRoofs, RooflinePoint, machine_roofs, roofline_point
 from .perf import PerfReport, perf_stat
@@ -67,4 +73,6 @@ __all__ = [
     "autotune", "TuneResult", "TuneStep", "ROCKET_KNOBS",
     "machine_roofs", "roofline_point", "MachineRoofs", "RooflinePoint",
     "sweep_configs", "sweep_knob", "SweepResult", "SweepPoint",
+    "interval_cpi", "flamegraph_folded", "marker_timeline",
+    "render_intervals",
 ]

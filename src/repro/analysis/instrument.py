@@ -1,0 +1,135 @@
+"""Analysis over instrumentation streams: interval CPI and flamegraphs.
+
+Consumes the JSONL streams :mod:`repro.instrument` produces and turns
+them into the two time-resolved views the paper's methodology leans on:
+
+- **interval CPI** from periodic counter samples (AutoCounter's classic
+  plot: CPI per sampling interval, exposing phase behaviour a whole-run
+  average hides), and
+- **folded stacks** from region begin/end markers, in the exact
+  ``a;b;c <count>`` format Brendan Gregg's ``flamegraph.pl`` — and
+  every compatible viewer — consumes.
+
+Both helpers accept anything :func:`repro.instrument.read_stream`
+accepts — a path or a live ``InstrumentStream`` — plus an
+already-parsed record list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..instrument.stream import read_stream
+
+
+def _records(source) -> list[dict[str, Any]]:
+    if isinstance(source, list):
+        return source
+    return read_stream(source)
+
+__all__ = ["interval_cpi", "flamegraph_folded", "marker_timeline",
+           "render_intervals"]
+
+
+def interval_cpi(source) -> list[dict[str, Any]]:
+    """Per-sample CPI from a stream's ``counter`` records.
+
+    Each interval reports the cycle span it covers, the cycle and
+    instruction deltas the sampler recorded, and their ratio — ``cpi``
+    is ``None`` for an interval that retired nothing (idle tile, warmup
+    gap).  Works on partial (torn or still-running) streams.
+    """
+    out: list[dict[str, Any]] = []
+    prev_cycle = 0
+    for rec in _records(source):
+        if rec.get("t") != "counter":
+            continue
+        dcyc = int(rec.get("dcycles", rec["cycle"] - prev_cycle))
+        dinst = int(rec.get("dinstructions", 0))
+        out.append({
+            "start": prev_cycle, "end": rec["cycle"],
+            "cycles": dcyc, "instructions": dinst,
+            "cpi": (dcyc / dinst) if dinst else None,
+            "final": bool(rec.get("final")),
+        })
+        prev_cycle = rec["cycle"]
+    return out
+
+
+def marker_timeline(source) -> list[dict[str, Any]]:
+    """The ``marker`` records of a stream, in emission order."""
+    return [r for r in _records(source) if r.get("t") == "marker"]
+
+
+def flamegraph_folded(source,
+                      names: Mapping[int, str] | None = None) -> str:
+    """Fold region begin/end markers into flamegraph.pl input.
+
+    Region markers (ids 1/2, see :mod:`repro.instrument.markers`) carry
+    a region id in their value; nested begins build a stack, and each
+    end attributes the cycles spent since the deepest begin to the full
+    ``outer;inner`` stack.  *names* maps region ids to labels (unnamed
+    regions render as ``region<id>``).  Unbalanced ends are ignored;
+    regions left open attribute up to the last record seen — so a live
+    or torn stream still folds.
+    """
+    from ..instrument.markers import MARKER_REGION_BEGIN, MARKER_REGION_END
+
+    names = dict(names or {})
+
+    def label(rid: int) -> str:
+        return names.get(rid, f"region{rid}")
+
+    folded: dict[str, int] = {}
+    stack: list[tuple[int, int]] = []   # (region id, entry cycle)
+    last_cycle = 0
+
+    def charge(upto: int) -> None:
+        """Attribute cycles since the deepest frame opened."""
+        if not stack:
+            return
+        path = ";".join(label(rid) for rid, _ in stack)
+        start = stack[-1][1]
+        if upto > start:
+            folded[path] = folded.get(path, 0) + (upto - start)
+
+    for rec in marker_timeline(source):
+        cycle = int(rec["cycle"])
+        last_cycle = max(last_cycle, cycle)
+        if rec["id"] == MARKER_REGION_BEGIN:
+            charge(cycle)   # close out the parent's self-time segment
+            stack.append((int(rec["value"]), cycle))
+        elif rec["id"] == MARKER_REGION_END:
+            if not stack:
+                continue
+            if stack[-1][0] != int(rec["value"]):
+                # mismatched end: unwind to the matching begin if any
+                open_ids = [rid for rid, _ in stack]
+                if int(rec["value"]) not in open_ids:
+                    continue
+            charge(cycle)
+            stack.pop()
+            if stack:
+                # parent resumes accumulating self-time from here
+                stack[-1] = (stack[-1][0], cycle)
+    # open frames at stream end (live tail / torn stream)
+    while stack:
+        charge(last_cycle)
+        stack.pop()
+    lines = [f"{path} {count}" for path, count in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_intervals(intervals: Sequence[Mapping[str, Any]],
+                     width: int = 40) -> str:
+    """ASCII sparkline table of :func:`interval_cpi` output."""
+    rows = ["interval        cycles   instructions   cpi"]
+    finite = [iv["cpi"] for iv in intervals if iv["cpi"]]
+    peak = max(finite) if finite else 1.0
+    for iv in intervals:
+        cpi = iv["cpi"]
+        bar = ("#" * max(1, int(width * cpi / peak))) if cpi else ""
+        cpi_s = f"{cpi:6.3f}" if cpi is not None else "     -"
+        rows.append(f"[{iv['start']:>8}..{iv['end']:>8}] "
+                    f"{iv['cycles']:>8} {iv['instructions']:>12} {cpi_s} {bar}")
+    return "\n".join(rows)

@@ -14,6 +14,10 @@ human-readable divergence strings (empty = agreement):
                 restored into a fresh system (reusing the original
                 watchdog, as a crash-recovery supervisor would) vs the
                 straight-through run.
+``instrument``  a run with trace windows / counter sampling / marker
+                decoding attached (and one checkpoint-interrupted and
+                re-armed) vs the bare run — results must be
+                bit-identical and the stream well-formed.
 ``farm``        programs executed as farm jobs, 2 workers + cache replay,
                 vs in-process serial execution.
 ``lint``        internal invariants on a single instrumented run: CPI
@@ -40,6 +44,7 @@ __all__ = [
     "diff_checkpoint",
     "diff_farm",
     "diff_golden",
+    "diff_instrument",
     "lint_invariants",
     "run_program",
 ]
@@ -240,6 +245,102 @@ def diff_checkpoint(trace, seed: int, config_name: str = "Rocket2",
         for line in _dict_diff(_canon(asdict(a)), _canon(asdict(b))):
             diffs.append(f"{config_name}: tile {i} resumed vs straight: {line}")
     return diffs
+
+
+# -- tier: instrumented vs bare ----------------------------------------------
+
+
+def diff_instrument(trace, seed: int, config_name: str = "Rocket2",
+                    quantum: int = 256, chunk: int = 128) -> list[str]:
+    """Instrumentation must be pure observation: a run with trace
+    windows, counter sampling, and marker decoding attached — including
+    one interrupted by a checkpoint and restored with the instrument
+    re-armed — must produce results bit-identical to the bare run, and
+    its stream must be well-formed (meta first, seal last, every window
+    open balanced by a close).
+    """
+    from ..instrument import (Instrument, InstrumentSpec, TraceTrigger,
+                              read_stream)
+    from ..soc.presets import get_config
+    from ..soc.system import System
+
+    cfg = get_config(config_name).with_(accel="off")
+    ntiles = min(2, cfg.ncores)
+    traces = [trace] * ntiles
+
+    ref = System(cfg).run_parallel(traces, quantum=quantum, chunk=chunk)
+    total_cycles = int(max((r.cycles for r in ref), default=0))
+
+    rng = random.Random(seed ^ 0x1A7E)
+    spec = InstrumentSpec(
+        triggers=(
+            TraceTrigger(start_cycle=rng.randrange(1, max(2, total_cycles)),
+                         length=rng.randrange(0, 64), label="chk"),
+            TraceTrigger(length=32, label="head"),   # overlapping window
+        ),
+        counter_interval=max(1, total_cycles // 3 or 1),
+    )
+
+    diffs: list[str] = []
+
+    # straight-through instrumented run
+    sys_i = System(cfg)
+    inst = Instrument(spec)
+    sys_i.attach_instrument(inst)
+    got = sys_i.run_parallel(traces, quantum=quantum, chunk=chunk)
+    inst.seal()
+    for i, (a, b) in enumerate(zip(got, ref)):
+        for line in _dict_diff(_canon(asdict(a)), _canon(asdict(b))):
+            diffs.append(f"{config_name}: tile {i} instrumented vs bare: "
+                         f"{line}")
+    diffs += _lint_stream(read_stream(inst.stream), config_name)
+
+    # interrupted + restored with the instrument re-armed mid-window
+    donor_sys = System(cfg)
+    donor_inst = Instrument(spec)
+    donor_sys.attach_instrument(donor_inst)
+    donor = donor_sys.start_parallel(traces, quantum=quantum, chunk=chunk)
+    for _ in range(rng.randrange(1, 8)):
+        if not donor.step():
+            break
+    if not donor.done:
+        ckpt = donor.checkpoint()
+        donor_inst.seal(reason="checkpoint")
+        resume_sys = System(cfg)
+        resume_inst = Instrument(spec)
+        resume_sys.attach_instrument(resume_inst)
+        resumed = resume_sys.restore(ckpt, traces)
+        resumed.run()
+        resume_inst.seal()
+        for i, (a, b) in enumerate(zip(resumed.results(), ref)):
+            for line in _dict_diff(_canon(asdict(a)), _canon(asdict(b))):
+                diffs.append(f"{config_name}: tile {i} instrumented resume "
+                             f"vs bare: {line}")
+    return diffs
+
+
+def _lint_stream(records: list[dict], config_name: str) -> list[str]:
+    """Structural well-formedness of one parsed stream."""
+    out = []
+    if not records:
+        return [f"{config_name}: instrument stream is empty"]
+    if records[0].get("t") != "meta":
+        out.append(f"{config_name}: stream does not start with meta: "
+                   f"{records[0]}")
+    if records[-1].get("t") != "seal":
+        out.append(f"{config_name}: stream is not sealed: {records[-1]}")
+    opens = sum(1 for r in records
+                if r.get("t") == "window" and r.get("event") == "open")
+    closes = sum(1 for r in records
+                 if r.get("t") == "window" and r.get("event") == "close")
+    if opens != closes:
+        out.append(f"{config_name}: {opens} window opens vs {closes} closes")
+    known = {"meta", "window", "trace", "counter", "marker", "seal"}
+    for r in records:
+        if r.get("t") not in known:
+            out.append(f"{config_name}: unknown record kind {r.get('t')!r}")
+            break
+    return out
 
 
 # -- tier 4: farm vs serial --------------------------------------------------

@@ -11,6 +11,8 @@ configuration and every tier still gets exercised:
   ``seeds >= len(ALL_CONFIGS)/2`` covers every configuration; pass
   ``accel_all=True`` (CLI ``--accel-all``) to run all configs per seed.
 * ``checkpoint``: every ``checkpoint_every``-th seed.
+* ``instrument``: same stride, offset by half, so the instrumented
+  bit-identity proof exercises different seeds than ``checkpoint``.
 * ``farm``: once per invocation, over a sample of the generated programs.
 
 On a divergence the failing program is shrunk (ddmin over source lines)
@@ -25,14 +27,15 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from .oracle import (Divergence, diff_accel, diff_checkpoint, diff_farm,
-                     diff_golden, lint_invariants, run_program)
+                     diff_golden, diff_instrument, lint_invariants,
+                     run_program)
 from .progen import CheckProgram, generate_program
 from .shrink import (category_predicate, diff_category, shrink_program,
                      write_corpus_entry)
 
 __all__ = ["CheckReport", "run_check", "ALL_TIERS"]
 
-ALL_TIERS = ("golden", "lint", "accel", "checkpoint", "farm")
+ALL_TIERS = ("golden", "lint", "accel", "checkpoint", "instrument", "farm")
 
 
 @dataclass
@@ -153,6 +156,14 @@ def run_check(seeds: int = 25, start_seed: int = 0,
             tier_count["checkpoint"] += 1
             report.divergences += _safe(
                 "checkpoint", seed, lambda: diff_checkpoint(trace, seed))
+
+        # strided like checkpoint (it embeds a checkpoint/restore), but
+        # offset so the two timing tiers hit different seeds
+        if ("instrument" in tiers
+                and n % checkpoint_every == checkpoint_every // 2):
+            tier_count["instrument"] += 1
+            report.divergences += _safe(
+                "instrument", seed, lambda: diff_instrument(trace, seed))
 
         if "farm" in tiers and len(farm_progs) < farm_sample:
             farm_progs.append(prog)

@@ -23,7 +23,19 @@ Commands
     Farm an ad-hoc kernel sweep across worker processes with result
     caching and live per-job progress (see ``docs/farm.md``).  With
     ``--quantum``/``--checkpoint-dir`` jobs run checkpointable; with
-    ``--fault-plan`` deterministic chaos is injected (``docs/reliability.md``).
+    ``--fault-plan`` deterministic chaos is injected (``docs/reliability.md``);
+    with ``--instrument-dir`` (and optionally ``--counters-interval``)
+    each job writes a live-tailable instrumentation stream.
+``trace KERNEL [--start-pc PC|--start-cycle N] [--length N] [--out FILE]``
+    Capture a trigger-armed instruction-trace window of one kernel run
+    (TracerV analogue, see ``docs/instrumentation.md``).
+``counters KERNEL --interval N [--flamegraph] [--out FILE]``
+    Sample counter deltas every N target cycles (AutoCounter analogue)
+    and print the interval CPI table, or fold region markers into
+    flamegraph input.
+``tail FILE [--follow]``
+    Print an instrumentation stream, optionally following a live writer
+    (e.g. a farm job's stream) until its seal record.
 ``checkpoint --config CFG --kernel NAME [--at N] --out FILE``
     Run a kernel through the token-lockstep path, save a mid-run (or
     final) checkpoint; ``--info FILE`` inspects one instead.
@@ -37,8 +49,8 @@ Commands
 ``check [--seeds N] [--tiers T,U] [--accel-all] [--no-shrink]``
     Property-based differential checking: fuzz generated RISC-V programs
     through the interpreter-vs-golden, accel on/off, checkpoint/restore,
-    and farm-vs-serial oracles plus the telemetry invariant lint;
-    shrink any divergence into ``tests/check/corpus/``
+    instrumented-vs-bare, and farm-vs-serial oracles plus the telemetry
+    invariant lint; shrink any divergence into ``tests/check/corpus/``
     (see ``docs/checking.md``).
 """
 
@@ -153,6 +165,70 @@ def build_parser() -> argparse.ArgumentParser:
                          "(see docs/reliability.md)")
     fm.add_argument("--fault-seed", type=int, default=0,
                     help="seed for the fault plan's deterministic damage")
+    fm.add_argument("--instrument-dir", default=None,
+                    help="write a per-job instrumentation stream "
+                         "(<label>.jsonl) here, tail-able while the job "
+                         "runs; bypasses the result cache")
+    fm.add_argument("--counters-interval", type=int, default=None,
+                    help="sample counter deltas every N target cycles "
+                         "into each job's stream (implies instrumentation)")
+
+    tr = sub.add_parser("trace",
+                        help="trigger-armed instruction trace window")
+    tr.add_argument("kernel")
+    tr.add_argument("--config", default="Rocket1")
+    tr.add_argument("--scale", type=float, default=1.0)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--start-pc", type=lambda s: int(s, 0), default=None,
+                    help="open the window at the first match of this PC")
+    tr.add_argument("--start-cycle", type=int, default=None,
+                    help="open the window at this target cycle")
+    tr.add_argument("--stop-pc", type=lambda s: int(s, 0), default=None,
+                    help="close the window at the first match of this PC")
+    tr.add_argument("--stop-cycle", type=int, default=None,
+                    help="close the window at this target cycle")
+    tr.add_argument("--length", type=int, default=100,
+                    help="instructions to capture (0: tripwire only)")
+    tr.add_argument("--max-records", type=int, default=65536,
+                    help="hard cap on captured records")
+    tr.add_argument("--interval", type=int, default=None,
+                    help="also sample counters every N target cycles")
+    tr.add_argument("--chunk", type=int, default=256,
+                    help="instructions per observed chunk (the cycle-"
+                         "stamp resolution dial)")
+    tr.add_argument("--out", default=None, metavar="FILE",
+                    help="write the JSONL stream here")
+    tr.add_argument("--json", action="store_true",
+                    help="print raw JSONL records instead of the table")
+
+    co = sub.add_parser("counters",
+                        help="periodic counter sampling (interval CPI)")
+    co.add_argument("kernel")
+    co.add_argument("--config", default="Rocket1")
+    co.add_argument("--scale", type=float, default=1.0)
+    co.add_argument("--seed", type=int, default=0)
+    co.add_argument("--interval", type=int, default=10_000,
+                    help="target cycles between counter samples")
+    co.add_argument("--flamegraph", action="store_true",
+                    help="fold region markers into flamegraph.pl input "
+                         "instead of the interval CPI table")
+    co.add_argument("--chunk", type=int, default=256,
+                    help="instructions per observed chunk (the sample-"
+                         "alignment resolution dial)")
+    co.add_argument("--out", default=None, metavar="FILE",
+                    help="write the JSONL stream here")
+    co.add_argument("--json", action="store_true",
+                    help="print the interval list as JSON")
+
+    tl = sub.add_parser("tail", help="follow an instrumentation stream")
+    tl.add_argument("file")
+    tl.add_argument("-f", "--follow", action="store_true",
+                    help="keep polling for new records until the seal")
+    tl.add_argument("--timeout", type=float, default=30.0,
+                    help="give up after this many idle seconds (--follow)")
+    tl.add_argument("--kinds", default=None,
+                    help="comma-separated record kinds to show "
+                         "(default: all)")
 
     ck = sub.add_parser("checkpoint",
                         help="save (or inspect) a lockstep run checkpoint")
@@ -195,8 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="number of generated programs")
     chk.add_argument("--start-seed", type=int, default=0)
     chk.add_argument("--tiers", default=None,
-                     help="comma-separated oracle tiers "
-                          "(default: golden,lint,accel,checkpoint,farm)")
+                     help="comma-separated oracle tiers (default: "
+                          "golden,lint,accel,checkpoint,instrument,farm)")
     chk.add_argument("--configs", default=None,
                      help="comma-separated SoC configs for the accel tier "
                           "(default: a rotating pair per seed)")
@@ -216,6 +292,64 @@ def _render(result) -> str:
     if isinstance(result, SeriesResult):
         return render_series(result)
     return render_table(result)
+
+
+def _format_record(rec: dict) -> str:
+    """One human-readable line per stream record (for trace/tail)."""
+    kind = rec.get("t", "?")
+    if kind == "trace":
+        extra = ""
+        if "addr" in rec:
+            extra = f" addr={rec['addr']} size={rec['size']}"
+        elif "target" in rec:
+            extra = f" target={rec['target']} taken={rec['taken']}"
+        return (f"{rec['cycle']:>12}  {rec['pc']:>12}  {rec['op']:<10}"
+                f" [{rec['window']}]{extra}")
+    if kind == "marker":
+        return (f"{rec['cycle']:>12}  {rec['pc']:>12}  MARKER     "
+                f"id={rec['id']} value={rec['value']}")
+    if kind == "window":
+        what = rec["event"]
+        tail = (f" reason={rec['reason']} records={rec['records']}"
+                if what == "close" else f" pc={rec.get('pc')}")
+        return (f"{rec.get('cycle', ''):>12}  {'':>12}  WINDOW-{what.upper()}"
+                f" [{rec['window']}]{tail}")
+    if kind == "counter":
+        hot = sorted(rec.get("counters", {}).items(),
+                     key=lambda kv: -abs(kv[1]))[:3]
+        summary = ", ".join(f"{k}={v}" for k, v in hot)
+        return (f"{rec['cycle']:>12}  {'':>12}  COUNTER    "
+                f"sample={rec['sample']} {summary}")
+    if kind == "meta":
+        return (f"{'':>12}  {'':>12}  META       config={rec['config']} "
+                f"resumed={rec['resumed']}")
+    if kind == "seal":
+        return (f"{'':>12}  {'':>12}  SEAL       reason={rec['reason']} "
+                f"records={rec['records']}")
+    return json.dumps(rec)
+
+
+def _instrumented_kernel_run(args, spec):
+    """Shared body of `repro trace` / `repro counters`: run one kernel
+    with *spec* attached, return (kernel, system, result, records).
+
+    Runs through the token-lockstep path so the instrument observes
+    chunk-sized slices: ``--chunk`` is the resolution/overhead dial
+    (smaller chunks, finer cycle stamps and sample alignment).
+    """
+    from .instrument import Instrument, read_stream
+    from .soc.system import System
+
+    kern = get_kernel(args.kernel)
+    trace = kern.build(scale=max(args.scale, kern.min_harness_scale),
+                       seed=args.seed)
+    system = System(get_config(args.config))
+    instrument = Instrument(spec, path=args.out)
+    system.attach_instrument(instrument)
+    chunk = max(1, args.chunk)
+    result = system.run_parallel([trace], quantum=2 * chunk, chunk=chunk)[0]
+    instrument.seal()
+    return kern, system, result, read_stream(instrument.stream)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -352,12 +486,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{done:>{len(str(len(jobs)))}}/{len(jobs)}] "
                   f"{ev.job.label:<{width}}  {body}", file=sys.stderr)
 
+        spec = None
+        if args.instrument_dir or args.counters_interval:
+            from .instrument import InstrumentSpec
+            spec = InstrumentSpec(counter_interval=args.counters_interval)
+
         farm = RunFarm(workers=args.workers, cache=cache,
                        timeout_s=args.timeout, max_retries=args.retries,
                        on_event=None if args.quiet else progress,
                        fault_plan=plan, checkpoint_dir=args.checkpoint_dir,
                        checkpoint_every=args.checkpoint_every,
-                       manifest_path=args.manifest)
+                       manifest_path=args.manifest,
+                       instrument=spec, instrument_dir=args.instrument_dir)
         results = farm.run(jobs)
         stats = farm.stats
 
@@ -524,6 +664,69 @@ def main(argv: list[str] | None = None) -> int:
             else (lambda msg: print(msg, file=sys.stderr)))
         print(report.summary())
         return 0 if report.ok else 1
+
+    if args.command == "trace":
+        from .instrument import InstrumentSpec, TraceTrigger
+
+        trigger = TraceTrigger(
+            start_pc=args.start_pc, start_cycle=args.start_cycle,
+            stop_pc=args.stop_pc, stop_cycle=args.stop_cycle,
+            length=args.length, max_records=args.max_records, label="cli")
+        spec = InstrumentSpec(triggers=(trigger,),
+                              counter_interval=args.interval)
+        kern, system, result, records = _instrumented_kernel_run(args, spec)
+        shown = 0
+        for rec in records:
+            if rec["t"] in ("meta", "seal") and not args.json:
+                continue
+            print(json.dumps(rec) if args.json else _format_record(rec))
+            shown += 1
+        n_trace = sum(1 for r in records if r["t"] == "trace")
+        print(f"# {kern.spec.name} on {args.config}: {result.cycles} cycles, "
+              f"{n_trace} trace record(s), {len(records)} total",
+              file=sys.stderr)
+        if args.out:
+            print(f"# stream written to {args.out}", file=sys.stderr)
+        return 0
+
+    if args.command == "counters":
+        from .analysis.instrument import (flamegraph_folded, interval_cpi,
+                                          render_intervals)
+        from .instrument import InstrumentSpec
+
+        spec = InstrumentSpec(counter_interval=args.interval)
+        kern, system, result, records = _instrumented_kernel_run(args, spec)
+        if args.flamegraph:
+            print(flamegraph_folded(records), end="")
+        else:
+            intervals = interval_cpi(records)
+            if args.json:
+                print(json.dumps(intervals, indent=2))
+            else:
+                print(f"{kern.spec.name} on {args.config}: "
+                      f"{len(intervals)} interval(s) of {args.interval} "
+                      f"cycle(s), whole-run CPI {result.cpi:.3f}")
+                print(render_intervals(intervals))
+        if args.out:
+            print(f"# stream written to {args.out}", file=sys.stderr)
+        return 0
+
+    if args.command == "tail":
+        from .instrument import tail_stream
+
+        kinds = (set(args.kinds.split(",")) if args.kinds else None)
+        sealed = False
+        for rec in tail_stream(args.file, follow=args.follow,
+                               timeout_s=args.timeout):
+            if kinds is None or rec.get("t") in kinds:
+                print(_format_record(rec), flush=True)
+            if rec.get("t") == "seal":
+                sealed = True
+        if args.follow and not sealed:
+            print(f"# timed out after {args.timeout:g}s without a seal",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     if args.command == "npb":
         res = NPB_RUNNERS[args.bench](get_config(args.config),

@@ -50,7 +50,14 @@ class ExecContext:
     checkpoint_every: int = 8
     #: True when running in the caller's process (serial mode)
     in_process: bool = True
-    #: filled by the runner: {"resumed": bool, "checkpoints": int}
+    #: instrumentation recipe (``InstrumentSpec.to_dict()`` form) to
+    #: attach to kernel jobs; None leaves runs uninstrumented
+    instrument_spec: dict[str, Any] | None = None
+    #: directory for per-job instrument streams (``<label>.jsonl``,
+    #: tail-able while the job runs); None keeps streams in memory
+    instrument_dir: str | os.PathLike | None = None
+    #: filled by the runner: {"resumed": bool, "checkpoints": int,
+    #: "stream": path}
     meta: dict[str, Any] = field(default_factory=dict)
 
 
@@ -213,7 +220,39 @@ def _checkpoint_file(job: Job, ctx: ExecContext) -> Path | None:
     return Path(ctx.checkpoint_dir) / f"{cache_key(job)}.ckpt"
 
 
+def _job_instrument(job: Job, ctx: ExecContext):
+    """Build the per-job Instrument an ExecContext asks for (or None).
+
+    Streams land at ``<instrument_dir>/<label>.jsonl`` so an operator
+    (or ``repro tail``) can follow a job while it is still running.
+    Instrumentation is host-side provenance: it never changes the
+    payload, which stays a pure function of the job.
+    """
+    if ctx.instrument_spec is None:
+        return None
+    from ..instrument import Instrument, InstrumentSpec
+    spec = InstrumentSpec.from_dict(ctx.instrument_spec)
+    path = None
+    if ctx.instrument_dir is not None:
+        path = Path(ctx.instrument_dir) / f"{job.label}.jsonl"
+        ctx.meta["stream"] = str(path)
+    return Instrument(spec, path=str(path) if path is not None else None)
+
+
 def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
+    """Run one kernel job, sealing any attached instrument stream on the
+    way out (success or failure — a torn stream should only ever mean a
+    killed worker)."""
+    instrument = _job_instrument(job, ctx)
+    try:
+        return _run_kernel_job_inner(job, attempt, ctx, instrument)
+    finally:
+        if instrument is not None:
+            instrument.seal()
+
+
+def _run_kernel_job_inner(job: Job, attempt: int, ctx: ExecContext,
+                          instrument=None) -> dict[str, Any]:
     """Replicate :func:`repro.workloads.microbench.run_kernel` exactly
     (same scale clamp, same warmup pass) and add the telemetry capture
     that `repro stats` performs, so one farmed run yields cycles,
@@ -242,6 +281,8 @@ def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
     else:
         trace = kern.build(scale=scale, seed=job.seed)
     system = System(cfg)
+    if instrument is not None:
+        system.attach_instrument(instrument)
     registry = StatsRegistry(system)
     quantum = job.param("quantum")
     mkey = None
@@ -250,9 +291,10 @@ def _run_kernel_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
         do_warmup = bool(job.param("warmup", True) and kern.needs_warmup)
         # fresh-system serial runs are a pure function of (trace, config):
         # memoize the whole payload (in-process workers and repeated
-        # sweep points skip the simulation entirely)
+        # sweep points skip the simulation entirely) — unless the
+        # operator asked for a stream, which only a real run can produce
         if (accel and job.cacheable and ctx.fault is None
-                and memo.memo_enabled()):
+                and instrument is None and memo.memo_enabled()):
             mkey = memo.memo_key(trace, cfg, system.uncore,
                                  extra=("farm_kernel", do_warmup))
             hit = memo.memo_get(mkey)

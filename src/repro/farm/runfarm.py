@@ -183,6 +183,18 @@ class RunFarm:
         When set, a JSON manifest of per-job outcomes and farm stats is
         written there after every run — including a partial one cut
         short by Ctrl-C/SIGTERM.
+    instrument:
+        Optional :class:`repro.instrument.InstrumentSpec` (or its
+        ``to_dict()`` form) attached to every kernel job.  Streams are
+        written to ``instrument_dir`` as ``<label>.jsonl`` and are
+        tail-able (``repro tail`` / :func:`repro.instrument.tail_stream`)
+        while the job is still running.  Instrumented sweeps always
+        simulate: the result cache and payload memo are bypassed so a
+        stream actually exists, and payloads stay bit-identical to
+        uninstrumented runs.
+    instrument_dir:
+        Where per-job streams land; defaults to the checkpoint dir's
+        sibling behaviour (in-memory, discarded) when unset.
     """
 
     def __init__(self, workers: int | None = None,
@@ -193,7 +205,9 @@ class RunFarm:
                  fault_plan=None,
                  checkpoint_dir: str | os.PathLike | None = None,
                  checkpoint_every: int = 8,
-                 manifest_path: str | os.PathLike | None = None) -> None:
+                 manifest_path: str | os.PathLike | None = None,
+                 instrument=None,
+                 instrument_dir: str | os.PathLike | None = None) -> None:
         self.workers = resolve_workers(workers)
         self.cache = resolve_cache(cache)
         self.timeout_s = timeout_s
@@ -204,6 +218,12 @@ class RunFarm:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.manifest_path = manifest_path
+        # normalise to the picklable dict form once, here, so every
+        # worker (fork or spawn) sees the identical recipe
+        self.instrument_spec = (instrument.to_dict()
+                                if hasattr(instrument, "to_dict")
+                                else instrument)
+        self.instrument_dir = instrument_dir
         self.stats = FarmStats()
         #: True when the last run was cut short by Ctrl-C / SIGTERM
         self.interrupted = False
@@ -230,8 +250,11 @@ class RunFarm:
 
         todo: list[tuple[int, str | None]] = []
         for i, job in enumerate(jobs):
+            # instrumented sweeps bypass the cache: a hit would return a
+            # payload without producing the stream the operator asked for
             key = (cache_key(job)
-                   if self.cache is not None and job.cacheable else None)
+                   if self.cache is not None and job.cacheable
+                   and self.instrument_spec is None else None)
             payload = self.cache.get(key) if key is not None else None
             if payload is not None:
                 stats.cache_hits += 1
@@ -297,7 +320,9 @@ class RunFarm:
         return ExecContext(fault=fault,
                            checkpoint_dir=self.checkpoint_dir,
                            checkpoint_every=self.checkpoint_every,
-                           in_process=in_process)
+                           in_process=in_process,
+                           instrument_spec=self.instrument_spec,
+                           instrument_dir=self.instrument_dir)
 
     def _install_sigterm(self) -> Callable[[], None]:
         """Route SIGTERM into KeyboardInterrupt for the graceful-shutdown
@@ -535,6 +560,8 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
              checkpoint_dir: str | os.PathLike | None = None,
              checkpoint_every: int = 8,
              manifest_path: str | os.PathLike | None = None,
+             instrument=None,
+             instrument_dir: str | os.PathLike | None = None,
              strict: bool = False) -> list[JobResult]:
     """One-call convenience: build a :class:`RunFarm`, run *jobs*.
 
@@ -547,7 +574,8 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
                    on_event=on_event, fault_plan=fault_plan,
                    checkpoint_dir=checkpoint_dir,
                    checkpoint_every=checkpoint_every,
-                   manifest_path=manifest_path)
+                   manifest_path=manifest_path,
+                   instrument=instrument, instrument_dir=instrument_dir)
     results = farm.run(jobs)
     if strict:
         failed = [r for r in results if not r.ok]

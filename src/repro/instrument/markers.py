@@ -1,0 +1,65 @@
+"""Synthesized-print markers: FireSim's magic-store printf analogue.
+
+FireSim's synthesized prints piggyback on the target's own instruction
+stream: the workload executes ordinary stores to a magic address region
+and out-of-band hardware decodes them into host-side print records
+without perturbing target timing.  We reproduce the scheme at the trace
+level: a marker is a normal ``STORE`` micro-op whose address encodes a
+16-bit marker id and a 32-bit payload under a magic tag in the top
+address bits.
+
+Because the marker store is part of the trace itself, it executes (and
+costs cycles) identically whether or not an :class:`~repro.instrument.Instrument`
+is attached — capture is pure observation, so instrumented runs stay
+bit-identical to uninstrumented ones on the same trace.
+
+Address layout (64 bits)::
+
+    63      48 47      32 31                0
+    [ 0xF17E ] [  id    ] [     value       ]
+
+Ids below :data:`FIRST_USER_MARKER` are reserved; ids 1/2 bracket named
+regions and feed the flame-graph folder in :mod:`repro.analysis.instrument`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MARKER_MAGIC",
+    "MARKER_REGION_BEGIN",
+    "MARKER_REGION_END",
+    "FIRST_USER_MARKER",
+    "marker_addr",
+    "is_marker_addr",
+    "decode_marker",
+]
+
+#: magic tag in address bits 63..48 identifying a marker store
+MARKER_MAGIC = 0xF17E
+
+#: reserved marker ids
+MARKER_REGION_BEGIN = 1     #: value = region id (flamegraph frame push)
+MARKER_REGION_END = 2       #: value = region id (flamegraph frame pop)
+FIRST_USER_MARKER = 16      #: first id free for workload-defined meanings
+
+
+def marker_addr(marker_id: int, value: int = 0) -> int:
+    """Encode ``(marker_id, value)`` into a magic store address."""
+    if not 0 <= marker_id <= 0xFFFF:
+        raise ValueError(f"marker id {marker_id} not in [0, 65535]")
+    if not 0 <= value <= 0xFFFF_FFFF:
+        raise ValueError(f"marker value {value} not in [0, 2^32)")
+    return (MARKER_MAGIC << 48) | (marker_id << 32) | value
+
+
+def is_marker_addr(addr: int) -> bool:
+    """True if *addr* carries the marker magic tag."""
+    return (int(addr) >> 48) == MARKER_MAGIC
+
+
+def decode_marker(addr: int) -> tuple[int, int]:
+    """Decode a magic store address back into ``(marker_id, value)``."""
+    addr = int(addr)
+    if not is_marker_addr(addr):
+        raise ValueError(f"address {addr:#x} is not a marker store")
+    return (addr >> 32) & 0xFFFF, addr & 0xFFFF_FFFF

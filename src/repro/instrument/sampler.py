@@ -1,0 +1,125 @@
+"""Periodic counter sampling: the AutoCounter analogue.
+
+FireSim's AutoCounter reads accumulation registers out-of-band every N
+target cycles and streams the deltas to the host.  Here the registers
+are the live ``*Stats`` counters a :class:`~repro.telemetry.StatsRegistry`
+already knows how to walk, and "every N cycles" is evaluated at chunk
+boundaries — the only points where the simulator's counters are
+coherent — so a sample is taken at the first boundary at-or-after each
+scheduled tick.  Coarser chunks mean coarser sample alignment, never
+skewed counter values.
+
+Each ``counter`` record carries the delta since the previous sample
+(zero-valued counters elided, so quiet intervals are cheap lines) plus
+the cumulative instruction/cycle pair, which is what the interval-CPI
+helper in :mod:`repro.analysis.instrument` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..telemetry import StatsRegistry
+from .stream import InstrumentStream
+
+__all__ = ["CounterSampler"]
+
+
+class CounterSampler:
+    """Sample StatsRegistry deltas every *interval* target cycles."""
+
+    def __init__(self, interval: int, stream: InstrumentStream) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive cycles")
+        self.interval = int(interval)
+        self.stream = stream
+        self.registry: StatsRegistry | None = None
+        self._prev_flat: dict[str, Any] | None = None
+        self._prev_inst = 0
+        self._prev_cycle = 0
+        self.next_at = self.interval
+        self.samples = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self, system) -> None:
+        """Bind to a system and baseline its counters.
+
+        After a restore the baseline is the resume point: deltas cover
+        only work done in this segment, which pairs with the stream
+        segment written after re-arming.
+        """
+        self.registry = StatsRegistry(system)
+        self._prev_flat = self.registry.snapshot().flat()
+
+    # -- the per-boundary hot path -------------------------------------------
+
+    def observe(self, cycle: int, instructions: int = 0) -> int:
+        """Called at a chunk boundary with the current target cycle and
+        the cumulative observed instruction count."""
+        if self.registry is None or cycle < self.next_at:
+            return 0
+        tick = self.next_at
+        # decimate, don't duplicate: one sample per boundary no matter
+        # how many scheduled ticks the chunk skipped over
+        self.next_at = (cycle // self.interval + 1) * self.interval
+        self._emit(cycle, instructions, tick=tick)
+        return 1
+
+    def finalize(self, cycle: int, instructions: int = 0) -> int:
+        """Terminal sample at seal time.
+
+        Guarantees at least one sample even when the configured interval
+        exceeds the whole run — the shorter-than-one-tick edge case.
+        """
+        if self.registry is None:
+            return 0
+        self._emit(cycle, instructions, tick=None, final=True)
+        return 1
+
+    def _emit(self, cycle: int, instructions: int, tick: int | None,
+              final: bool = False) -> None:
+        flat = self.registry.snapshot().flat()
+        prev = self._prev_flat or {}
+        delta = {}
+        for key, value in flat.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            d = value - prev.get(key, 0)
+            if d:
+                delta[key] = d
+        self._prev_flat = flat
+        self.samples += 1
+        record: dict[str, Any] = {
+            "t": "counter", "cycle": int(cycle), "sample": self.samples,
+            # cycle/instruction deltas carried explicitly: they are what
+            # interval-CPI needs and the registry tree does not expose a
+            # per-tile retired-instruction counter
+            "dcycles": int(cycle) - self._prev_cycle,
+            "dinstructions": int(instructions) - self._prev_inst,
+            "counters": delta,
+        }
+        self._prev_cycle = int(cycle)
+        self._prev_inst = int(instructions)
+        if tick is not None:
+            record["tick"] = int(tick)
+        if final:
+            record["final"] = True
+        self.stream.write(record)
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        return {"interval": self.interval, "next_at": self.next_at,
+                "samples": self.samples, "prev_inst": self._prev_inst,
+                "prev_cycle": self._prev_cycle}
+
+    def load_state(self, d: dict[str, Any]) -> None:
+        if int(d["interval"]) != self.interval:
+            raise ValueError(
+                f"checkpoint sampled every {d['interval']} cycles, sampler "
+                f"configured for {self.interval}")
+        self.next_at = int(d["next_at"])
+        self.samples = int(d["samples"])
+        self._prev_inst = int(d.get("prev_inst", 0))
+        self._prev_cycle = int(d.get("prev_cycle", 0))

@@ -1,0 +1,167 @@
+"""Append-only JSONL instrumentation streams.
+
+One stream carries every record kind an instrumented run produces —
+trace-window instructions, periodic counter samples, workload markers —
+interleaved in emission order, one JSON object per line.  The format is
+deliberately boring: it can be consumed by ``jq``, tailed while the run
+is still executing (the farm case), and parsed incrementally without
+framing state.
+
+Record kinds (the ``"t"`` field):
+
+``meta``
+    First line of every (re)opened stream: schema version, config name,
+    whether this segment resumes a checkpointed run.
+``window``
+    A trace window opened or closed (``event`` = ``open`` | ``close``,
+    with the trigger label and the reason for closing).
+``trace``
+    One decoded instruction inside an open window (TracerV analogue).
+``counter``
+    One periodic counter sample (AutoCounter analogue).
+``marker``
+    One decoded magic-store marker (synth-print analogue).
+``seal``
+    Last line of a stream segment: record count and reason.  A stream
+    without a final seal was torn by a crash — readers treat the
+    partial tail as valid data, exactly like a torn TracerV capture.
+
+Writers flush after every record, so a concurrent reader
+(:func:`tail_stream`) never waits more than one record behind the
+producer.  A half-written final line (torn write) is skipped by the
+readers rather than raising.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["STREAM_SCHEMA", "InstrumentStream", "read_stream", "tail_stream"]
+
+#: bump when record layouts change incompatibly
+STREAM_SCHEMA = 1
+
+
+class InstrumentStream:
+    """Append-only JSONL record sink, on disk or in memory.
+
+    With a *path*, records are appended to the file and flushed per
+    record (tail-able live).  With ``path=None`` the stream is
+    memory-backed — records accumulate in :attr:`records` — which is
+    what tests and short interactive sessions use.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.records: list[dict[str, Any]] = []
+        self.written = 0
+        self.sealed = False
+        self._fh: io.TextIOBase | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Append one record (dict with a ``"t"`` kind field)."""
+        if self.sealed:
+            raise RuntimeError("stream is sealed; no further records")
+        self.written += 1
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+        else:
+            self.records.append(record)
+
+    def seal(self, reason: str = "closed", **extra: Any) -> None:
+        """Write the terminal ``seal`` record and close the sink.
+
+        Idempotent: sealing a sealed stream is a no-op, so shutdown
+        paths (run completion, ``finally`` blocks, checkpoint hand-off)
+        can all seal defensively.
+        """
+        if self.sealed:
+            return
+        record = {"t": "seal", "schema": STREAM_SCHEMA, "reason": reason,
+                  "records": self.written, **extra}
+        self.write(record)
+        self.sealed = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def close(self) -> None:
+        """Close without sealing (the torn-stream case, for tests)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path is not None else "<memory>"
+        return f"InstrumentStream({where}, {self.written} records)"
+
+
+def _parse_lines(lines: Iterator[str]) -> Iterator[dict[str, Any]]:
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            # torn final line of a crashed writer: stop at the tear
+            return
+
+
+def read_stream(source: str | os.PathLike | InstrumentStream,
+                ) -> list[dict[str, Any]]:
+    """Parse a whole stream (file path or memory-backed stream).
+
+    Tolerates a torn trailing line; everything before the tear is
+    returned.
+    """
+    if isinstance(source, InstrumentStream):
+        if source.path is None:
+            return list(source.records)
+        source = source.path
+    text = Path(source).read_text(encoding="utf-8")
+    return list(_parse_lines(iter(text.splitlines())))
+
+
+def tail_stream(path: str | os.PathLike, follow: bool = False,
+                poll_s: float = 0.05, timeout_s: float = 30.0,
+                ) -> Iterator[dict[str, Any]]:
+    """Yield records from a stream file, optionally following the writer.
+
+    With ``follow=True`` the generator keeps polling for new lines —
+    the live-farm-tailing case — until a ``seal`` record arrives or
+    *timeout_s* passes with no progress.  Without it, yields what is
+    currently on disk and returns.
+    """
+    path = Path(path)
+    deadline = time.monotonic() + timeout_s
+    buf = ""
+    pos = 0
+    while True:
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as fh:
+                fh.seek(pos)
+                chunk = fh.read()
+                pos = fh.tell()
+            buf += chunk
+            while "\n" in buf:
+                line, buf = buf.split("\n", 1)
+                for record in _parse_lines(iter([line])):
+                    yield record
+                    deadline = time.monotonic() + timeout_s
+                    if record.get("t") == "seal":
+                        return
+        if not follow:
+            return
+        if time.monotonic() > deadline:
+            return
+        time.sleep(poll_s)

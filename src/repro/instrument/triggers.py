@@ -1,0 +1,128 @@
+"""Trigger-armed trace windows (the TracerV trigger model).
+
+FireSim's TracerV does not stream every committed instruction — at
+FPGA speeds that would drown the host — it arms *triggers* that open
+and close a capture window: start/stop on a PC match or on a target
+cycle.  :class:`TraceTrigger` is the immutable recipe for one such
+window; the mutable per-run cursor (armed → open → done, records
+emitted so far) lives in :class:`WindowState` so it can be captured
+into a checkpoint and re-armed on restore.
+
+A window is always bounded: by an explicit stop condition, by
+``length`` (instruction count), and unconditionally by ``max_records``
+— the bounded-overhead guarantee.  ``length=0`` is legal and produces
+an empty open/close pair (useful as a PC tripwire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TraceTrigger", "WindowState"]
+
+#: WindowState.state values
+ARMED, OPEN, DONE = "armed", "open", "done"
+
+
+@dataclass(frozen=True)
+class TraceTrigger:
+    """Recipe for one trigger-armed trace window.
+
+    Start condition: first ``start_pc`` match, or target clock reaching
+    ``start_cycle`` (both unset: the window opens on the first observed
+    instruction).  Stop condition: first ``stop_pc`` match at-or-after
+    the opening instruction (inclusive), target clock reaching
+    ``stop_cycle``, or ``length`` captured instructions — whichever
+    comes first; ``max_records`` caps the window regardless.
+    """
+
+    start_pc: int | None = None
+    start_cycle: int | None = None
+    stop_pc: int | None = None
+    stop_cycle: int | None = None
+    length: int | None = None
+    max_records: int = 65536
+    label: str = ""
+    tile: int | None = None     #: restrict to one tile (None: every tile)
+
+    def __post_init__(self) -> None:
+        if self.start_pc is not None and self.start_cycle is not None:
+            raise ValueError("give start_pc or start_cycle, not both")
+        if self.length is not None and self.length < 0:
+            raise ValueError("length must be >= 0")
+        if self.max_records <= 0:
+            raise ValueError("max_records must be positive")
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        if self.start_pc is not None:
+            return f"pc@{self.start_pc:#x}"
+        if self.start_cycle is not None:
+            return f"cycle@{self.start_cycle}"
+        return "immediate"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start_pc": self.start_pc, "start_cycle": self.start_cycle,
+            "stop_pc": self.stop_pc, "stop_cycle": self.stop_cycle,
+            "length": self.length, "max_records": self.max_records,
+            "label": self.label, "tile": self.tile,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TraceTrigger":
+        return cls(**d)
+
+
+class WindowState:
+    """Mutable per-run cursor of one trigger's window."""
+
+    __slots__ = ("trigger", "state", "emitted", "opened_cycle",
+                 "closed_reason")
+
+    def __init__(self, trigger: TraceTrigger) -> None:
+        self.trigger = trigger
+        self.state = ARMED
+        self.emitted = 0            #: trace records written so far
+        self.opened_cycle: int | None = None
+        self.closed_reason: str | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self.state == ARMED
+
+    @property
+    def open(self) -> bool:
+        return self.state == OPEN
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    def budget(self) -> int:
+        """Instructions this window may still emit."""
+        caps = [self.trigger.max_records - self.emitted]
+        if self.trigger.length is not None:
+            caps.append(self.trigger.length - self.emitted)
+        return max(0, min(caps))
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        return {"state": self.state, "emitted": self.emitted,
+                "opened_cycle": self.opened_cycle,
+                "closed_reason": self.closed_reason}
+
+    def load_state(self, d: dict[str, Any]) -> None:
+        self.state = str(d["state"])
+        self.emitted = int(d["emitted"])
+        self.opened_cycle = (int(d["opened_cycle"])
+                             if d["opened_cycle"] is not None else None)
+        self.closed_reason = d["closed_reason"]
+
+    def __repr__(self) -> str:
+        return (f"WindowState({self.trigger.name}, {self.state}, "
+                f"{self.emitted} records)")

@@ -289,6 +289,29 @@ class TraceBuilder:
     def nop(self) -> None:
         self._emit(OpClass.NOP)
 
+    # -- instrumentation markers (see repro.instrument.markers) ------------
+
+    def marker(self, marker_id: int, value: int = 0, src: int = -1) -> None:
+        """Emit a magic-store marker (synth-print analogue).
+
+        The marker is an ordinary 8-byte store whose address encodes
+        ``(marker_id, value)`` under the magic tag, so it executes — and
+        costs cycles — identically whether or not an instrument decodes
+        it.
+        """
+        from ..instrument.markers import marker_addr
+        self.store(src, marker_addr(marker_id, value))
+
+    def region_begin(self, region_id: int) -> None:
+        """Open a named region (flamegraph frame push)."""
+        from ..instrument.markers import MARKER_REGION_BEGIN
+        self.marker(MARKER_REGION_BEGIN, region_id)
+
+    def region_end(self, region_id: int) -> None:
+        """Close a named region (flamegraph frame pop)."""
+        from ..instrument.markers import MARKER_REGION_END
+        self.marker(MARKER_REGION_END, region_id)
+
     # -- RVV vector emission (see repro.core.vector) -----------------------
 
     def vsetvl(self, dst: int = 10) -> None:

@@ -67,12 +67,14 @@ class _TileLane:
     """Adapts a (tile, trace) pair to the LockstepScheduler Lane protocol."""
 
     def __init__(self, tile: Tile, trace: Trace, chunk: int = 2048,
-                 offset: int = 0, result: CoreResult | None = None) -> None:
+                 offset: int = 0, result: CoreResult | None = None,
+                 instrument=None) -> None:
         self.tile = tile
         self.trace = trace
         self.chunk = chunk
         self.offset = offset
         self.result = result
+        self.instrument = instrument
 
     def local_time(self) -> int:
         return self.tile.core.local_time
@@ -81,9 +83,13 @@ class _TileLane:
         n = len(self.trace)
         while self.offset < n and self.tile.core.local_time < until:
             seg = self.trace[self.offset:self.offset + self.chunk]
+            t0 = self.tile.core.local_time
             r = self.tile.core.run(seg)
             self.result = r if self.result is None else self.result + r
             self.offset += len(seg)
+            if self.instrument is not None:
+                self.instrument.observe(self.tile.tile_id, seg, t0,
+                                        self.tile.core.local_time)
         return self.offset < n
 
 
@@ -110,7 +116,8 @@ class ParallelRun:
         self.fault_plan = fault_plan
         self.watchdog = watchdog
         self.lanes = _lanes if _lanes is not None else [
-            _TileLane(system.tiles[i], t, chunk=chunk)
+            _TileLane(system.tiles[i], t, chunk=chunk,
+                      instrument=system.instrument)
             for i, t in enumerate(traces)
         ]
         if _scheduler is not None:
@@ -184,6 +191,8 @@ class System:
         self.last_scheduler: LockstepScheduler | None = None
         #: watchdog of the most recent run_parallel, if any (for telemetry)
         self.last_watchdog = None
+        #: attached streaming instrument, if any (see repro.instrument)
+        self.instrument = None
         self.tiles: list[Tile] = []
         for i in range(cfg.ncores):
             port = TilePort(self.uncore, tile_id=i)
@@ -200,11 +209,40 @@ class System:
                 core = OoOCore(cfg.ooo, port, bru)
             self.tiles.append(Tile(i, core, port))
 
+    # -- instrumentation ------------------------------------------------------
+
+    def attach_instrument(self, instrument, resumed: bool = False) -> None:
+        """Attach a streaming :class:`repro.instrument.Instrument`.
+
+        Observation is read-only at chunk boundaries: results, counters,
+        and chunking are bit-identical with or without an instrument
+        (enforced by the ``instrument`` tier in :mod:`repro.check`).
+        Attach before starting a lockstep run — lanes bind the
+        instrument at construction time.
+        """
+        self.instrument = instrument
+        instrument.attach(self, resumed=resumed)
+
+    def detach_instrument(self, reason: str = "done") -> None:
+        """Seal the attached instrument's stream and drop it."""
+        if self.instrument is not None:
+            self.instrument.seal(reason=reason)
+            self.instrument = None
+
     # -- execution ------------------------------------------------------------
 
     def run(self, trace: Trace, tile: int = 0) -> CoreResult:
         """Run a trace to completion on one tile."""
-        return self.tiles[tile].run(trace)
+        if self.instrument is None:
+            return self.tiles[tile].run(trace)
+        t0 = self.tiles[tile].core.local_time
+        result = self.tiles[tile].run(trace)
+        # serial runs are observed whole: one chunk spanning the call,
+        # with cycle stamps interpolated across it.  Lockstep runs
+        # observe per lane chunk, which is the finer-grained path.
+        self.instrument.observe(tile, trace, t0,
+                                self.tiles[tile].core.local_time)
+        return result
 
     def run_parallel(self, traces: list[Trace], quantum: int = 4096,
                      chunk: int = 2048, watchdog=None,
@@ -241,6 +279,12 @@ class System:
         to reuse warmed state across runs.
         """
         from ..reliability.checkpoint import SimCheckpoint
+        if self.instrument is not None:
+            # fold the instrument cursors (window states, sampler phase,
+            # instruction indices) into the sealed extras so restore can
+            # re-arm mid-window
+            extras = dict(extras) if extras else {}
+            extras.setdefault("instrument", self.instrument.state())
         return SimCheckpoint.capture(self, run=run, extras=extras)
 
     def restore(self, ckpt, traces: list[Trace] | None = None,
@@ -263,6 +307,11 @@ class System:
         ckpt.verify()
         ckpt.audit(self)
         restore_system(self, ckpt.state)
+        if self.instrument is not None:
+            # re-arm windows/sampler/cursors where the donor run left off
+            inst_state = ckpt.extras.get("instrument")
+            if inst_state is not None:
+                self.instrument.load_state(inst_state)
         if ckpt.lanes is None:
             self.last_scheduler = None
             self.last_watchdog = None
@@ -284,7 +333,8 @@ class System:
                       if ls["result"] is not None else None)
             lanes.append(_TileLane(self.tiles[i], trace,
                                    chunk=int(ls["chunk"]),
-                                   offset=int(ls["offset"]), result=result))
+                                   offset=int(ls["offset"]), result=result,
+                                   instrument=self.instrument))
         scheduler = LockstepScheduler(quantum=int(ckpt.scheduler["quantum"]))
         scheduler.bind(list(lanes))
         scheduler.load_state(ckpt.scheduler)

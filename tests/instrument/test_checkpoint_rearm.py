@@ -1,0 +1,137 @@
+"""The hard satellite case: a trigger firing mid-checkpoint.
+
+A window that is OPEN when a checkpoint lands must seal cleanly in the
+donor stream, re-arm from checkpoint extras on restore, and keep the
+resumed run bit-identical — with the two stream segments jointly
+accounting for every record the uninterrupted run would have captured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.instrument import Instrument, InstrumentSpec, TraceTrigger, read_stream
+from repro.soc.presets import get_config
+from repro.soc.system import System
+from repro.workloads.microbench import get_kernel
+
+QUANTUM, CHUNK = 512, 256
+
+
+def kernel_trace():
+    return get_kernel("MM").build(scale=0.05, seed=0)
+
+
+def spanning_spec(total_cycles):
+    """A window guaranteed to be open around the checkpoint point, plus
+    periodic counter sampling."""
+    return InstrumentSpec(
+        triggers=(TraceTrigger(start_cycle=QUANTUM, length=10**6,
+                               max_records=10**6, label="span"),),
+        counter_interval=total_cycles // 7 or 1)
+
+
+def trace_count(records, window="span"):
+    return len([r for r in records
+                if r["t"] == "trace" and r["window"] == window])
+
+
+def test_trigger_fires_mid_checkpoint_and_rearms_on_restore(tmp_path):
+    trace = kernel_trace()
+    cfg = get_config("Rocket1")
+    traces = [trace]
+
+    # uninterrupted references: bare, then instrumented
+    ref = System(cfg).run_parallel(traces, quantum=QUANTUM, chunk=CHUNK)
+    total = int(ref[0].cycles)
+
+    whole = System(cfg)
+    whole_inst = Instrument(spanning_spec(total))
+    whole.attach_instrument(whole_inst)
+    assert whole.run_parallel(traces, quantum=QUANTUM, chunk=CHUNK)
+    whole_inst.seal()
+    whole_recs = read_stream(whole_inst.stream)
+    assert trace_count(whole_recs) > 0, "window never opened — bad setup"
+
+    # donor run: step past the trigger, checkpoint while the window is OPEN
+    donor = System(cfg)
+    donor_inst = Instrument(spanning_spec(total),
+                            path=tmp_path / "donor.jsonl")
+    donor.attach_instrument(donor_inst)
+    run = donor.start_parallel(traces, quantum=QUANTUM, chunk=CHUNK)
+    for _ in range(3):
+        assert run.step(), "run finished before the checkpoint — bad setup"
+    window = donor_inst.tracer.windows[0]
+    assert window.open, "window should be open at checkpoint time"
+    ckpt = donor.save_checkpoint(run=run)
+    assert ckpt.extras["instrument"]["windows"][0]["state"] == "open"
+    donor_inst.seal(reason="checkpoint")
+    donor_recs = read_stream(tmp_path / "donor.jsonl")
+    assert donor_recs[-1]["reason"] == "checkpoint"
+
+    # restore onto a fresh system with a fresh stream; extras re-arm it
+    resumed = System(cfg)
+    resumed_inst = Instrument(spanning_spec(total),
+                              path=tmp_path / "resumed.jsonl")
+    resumed.attach_instrument(resumed_inst, resumed=True)
+    rest = resumed.restore(ckpt, traces=traces)
+    # load_state happened inside restore: the window is open again,
+    # mid-flight, without re-emitting an "open" event
+    assert resumed_inst.tracer.windows[0].open
+    got = rest.run()
+    resumed_inst.seal()
+    resumed_recs = read_stream(tmp_path / "resumed.jsonl")
+
+    # bit-identity: the resumed results match the uninterrupted bare run
+    for a, b in zip(got, ref):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    # the resumed stream marks itself as a continuation
+    assert resumed_recs[0]["t"] == "meta" and resumed_recs[0]["resumed"]
+
+    # the two segments jointly account for the uninterrupted capture
+    assert (trace_count(donor_recs) + trace_count(resumed_recs)
+            == trace_count(whole_recs))
+    # exactly one open (donor) and one close (resumed) across segments
+    events = [r["event"] for r in donor_recs + resumed_recs
+              if r["t"] == "window"]
+    assert events == ["open", "close"]
+
+    # counter samples keep a monotonic cycle axis across the seam
+    cycles = [r["cycle"] for r in donor_recs + resumed_recs
+              if r["t"] == "counter"]
+    assert cycles == sorted(cycles)
+
+
+def test_restore_without_instrument_ignores_extras(tmp_path):
+    """A checkpoint carrying instrument state restores fine onto a
+    system with no instrument attached — observability is optional."""
+    trace = kernel_trace()
+    cfg = get_config("Rocket1")
+    ref = System(cfg).run_parallel([trace], quantum=QUANTUM, chunk=CHUNK)
+
+    donor = System(cfg)
+    inst = Instrument(InstrumentSpec(counter_interval=1000))
+    donor.attach_instrument(inst)
+    run = donor.start_parallel([trace], quantum=QUANTUM, chunk=CHUNK)
+    assert run.step()
+    ckpt = donor.save_checkpoint(run=run)
+    inst.seal(reason="checkpoint")
+    assert "instrument" in ckpt.extras
+
+    plain = System(cfg)
+    got = plain.restore(ckpt, traces=[trace]).run()
+    for a, b in zip(got, ref):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def test_spec_mismatch_on_load_state_is_rejected():
+    inst = Instrument(InstrumentSpec(counter_interval=100))
+    other = Instrument(InstrumentSpec(counter_interval=100,
+                                      triggers=(TraceTrigger(length=5),)))
+    state = other.state()
+    try:
+        inst.load_state(state)
+    except ValueError:
+        return
+    raise AssertionError("mismatched window count should be rejected")

@@ -1,0 +1,62 @@
+"""Farm-side streams: per-job JSONL files an operator can tail live."""
+
+from __future__ import annotations
+
+from repro.farm import Job, RunFarm
+from repro.instrument import InstrumentSpec, read_stream, tail_stream
+from repro.soc.presets import ROCKET1
+
+
+def mm_job():
+    return Job.kernel(ROCKET1, "MM", scale=0.05, seed=0, warmup=False)
+
+
+def test_farm_writes_sealed_per_job_streams(tmp_path):
+    spec = InstrumentSpec(counter_interval=5000)
+    farm = RunFarm(workers=2, cache=None, instrument=spec,
+                   instrument_dir=tmp_path)
+    results = farm.run([mm_job()])
+    assert results[0].status == "ok"
+
+    stream = tmp_path / f"{mm_job().label}.jsonl"
+    assert stream.exists()
+    recs = read_stream(stream)
+    assert recs[0]["t"] == "meta"
+    assert recs[-1]["t"] == "seal"
+    assert [r for r in recs if r["t"] == "counter"]
+
+
+def test_instrumented_payload_matches_uninstrumented(tmp_path):
+    """Observation must not leak into job payloads: the instrumented
+    run's timing payload is identical to the bare one."""
+    bare = RunFarm(workers=1, cache=None).run([mm_job()])[0]
+    inst = RunFarm(workers=1, cache=None,
+                   instrument=InstrumentSpec(counter_interval=5000),
+                   instrument_dir=tmp_path).run([mm_job()])[0]
+    bare_p = {k: v for k, v in bare.payload.items() if k != "meta"}
+    inst_p = {k: v for k, v in inst.payload.items() if k != "meta"}
+    assert bare_p == inst_p
+
+
+def test_instrumented_sweep_bypasses_result_cache(tmp_path):
+    """Cached payloads have no streams — instrumented sweeps must run."""
+    cache_dir = tmp_path / "cache"
+    instr_dir = tmp_path / "streams"
+    instr_dir.mkdir()
+    # prime the cache with a bare run
+    RunFarm(workers=1, cache=cache_dir).run([mm_job()])
+    farm = RunFarm(workers=1, cache=cache_dir,
+                   instrument=InstrumentSpec(counter_interval=5000),
+                   instrument_dir=instr_dir)
+    result = farm.run([mm_job()])[0]
+    assert not result.from_cache
+    assert (instr_dir / f"{mm_job().label}.jsonl").exists()
+
+
+def test_stream_is_tailable_after_the_run(tmp_path):
+    spec = InstrumentSpec(counter_interval=5000)
+    RunFarm(workers=1, cache=None, instrument=spec,
+            instrument_dir=tmp_path).run([mm_job()])
+    path = tmp_path / f"{mm_job().label}.jsonl"
+    got = list(tail_stream(path, follow=True, poll_s=0.01, timeout_s=5.0))
+    assert got[-1]["t"] == "seal"

@@ -1,0 +1,106 @@
+"""InstrumentStream: JSONL framing, sealing, torn tails, live tailing."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.instrument import (
+    STREAM_SCHEMA,
+    InstrumentStream,
+    read_stream,
+    tail_stream,
+)
+
+
+def test_memory_stream_round_trip():
+    s = InstrumentStream()
+    s.write({"t": "meta", "x": 1})
+    s.write({"t": "marker", "id": 16, "value": 7})
+    s.seal(reason="done")
+    recs = read_stream(s)
+    assert [r["t"] for r in recs] == ["meta", "marker", "seal"]
+    assert recs[-1]["records"] == 2
+    assert recs[-1]["schema"] == STREAM_SCHEMA
+
+
+def test_file_stream_round_trip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    s = InstrumentStream(path)
+    for i in range(5):
+        s.write({"t": "marker", "id": 16, "value": i})
+    s.seal()
+    recs = read_stream(path)
+    assert len(recs) == 6
+    assert [r["value"] for r in recs[:-1]] == list(range(5))
+    # the file is plain JSONL: every line parses on its own
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_seal_is_idempotent_and_write_after_seal_raises():
+    s = InstrumentStream()
+    s.seal(reason="a")
+    s.seal(reason="b")  # no-op, not an error
+    assert sum(1 for r in s.records if r["t"] == "seal") == 1
+    assert s.records[-1]["reason"] == "a"
+    with pytest.raises(RuntimeError):
+        s.write({"t": "marker"})
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    s = InstrumentStream(path)
+    s.write({"t": "meta"})
+    s.write({"t": "marker", "id": 16, "value": 1})
+    s.close()  # crash: no seal
+    with open(path, "a") as f:
+        f.write('{"t": "marker", "id": 16, "va')  # torn final line
+    recs = read_stream(path)
+    assert [r["t"] for r in recs] == ["meta", "marker"]
+    assert recs[-1]["value"] == 1
+
+
+def test_tail_stream_without_follow_reads_current_contents(tmp_path):
+    path = tmp_path / "s.jsonl"
+    s = InstrumentStream(path)
+    s.write({"t": "meta"})
+    s.write({"t": "marker", "id": 16, "value": 3})
+    got = list(tail_stream(path))
+    assert len(got) == 2
+    s.seal()
+    got = list(tail_stream(path))
+    assert got[-1]["t"] == "seal"
+
+
+def test_tail_stream_follows_live_writer(tmp_path):
+    """The farm case: a reader tails while the writer is still going."""
+    path = tmp_path / "live.jsonl"
+
+    def writer():
+        s = InstrumentStream(path)
+        for i in range(10):
+            s.write({"t": "marker", "id": 16, "value": i})
+            time.sleep(0.01)
+        s.seal(reason="done")
+
+    t = threading.Thread(target=writer)
+    t.start()
+    got = list(tail_stream(path, follow=True, poll_s=0.005, timeout_s=10.0))
+    t.join()
+    assert [r["value"] for r in got if r["t"] == "marker"] == list(range(10))
+    assert got[-1]["t"] == "seal"
+
+
+def test_tail_stream_times_out_without_seal(tmp_path):
+    path = tmp_path / "stuck.jsonl"
+    s = InstrumentStream(path)
+    s.write({"t": "meta"})
+    s.close()
+    t0 = time.monotonic()
+    got = list(tail_stream(path, follow=True, poll_s=0.01, timeout_s=0.1))
+    assert time.monotonic() - t0 < 5.0
+    assert [r["t"] for r in got] == ["meta"]

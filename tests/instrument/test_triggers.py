@@ -1,0 +1,192 @@
+"""Trigger windows: edge cases the issue calls out, plus marker decode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument import (
+    FIRST_USER_MARKER,
+    Instrument,
+    InstrumentSpec,
+    TraceTrigger,
+    decode_marker,
+    is_marker_addr,
+    marker_addr,
+    read_stream,
+)
+from repro.isa.trace import TraceBuilder
+from repro.soc.presets import get_config
+from repro.soc.system import System
+
+
+def linear_trace(n=400, pc0=0x1_0000):
+    tb = TraceBuilder(pc0=pc0)
+    for i in range(n):
+        tb.alu(1, 2, 3)
+    return tb.build()
+
+
+def run_with(spec, trace, config="Rocket1"):
+    system = System(get_config(config))
+    inst = Instrument(spec)
+    system.attach_instrument(inst)
+    result = system.run(trace)
+    inst.seal()
+    return result, read_stream(inst.stream)
+
+
+# -- construction validation -------------------------------------------------
+
+
+def test_trigger_rejects_conflicting_and_invalid_fields():
+    with pytest.raises(ValueError):
+        TraceTrigger(start_pc=0x1000, start_cycle=5)
+    with pytest.raises(ValueError):
+        TraceTrigger(length=-1)
+    with pytest.raises(ValueError):
+        TraceTrigger(max_records=0)
+
+
+def test_trigger_round_trips_through_dict():
+    t = TraceTrigger(start_pc=0x1_0040, length=16, label="w")
+    assert TraceTrigger.from_dict(t.to_dict()) == t
+
+
+# -- edge case: zero-length window -------------------------------------------
+
+
+def test_zero_length_window_is_a_pc_tripwire():
+    """length=0 opens and immediately closes: an open/close pair with
+    zero trace records — a PC tripwire."""
+    trace = linear_trace(100)
+    target_pc = int(trace.pc[40])
+    spec = InstrumentSpec(triggers=(
+        TraceTrigger(start_pc=target_pc, length=0, label="trip"),))
+    _, recs = run_with(spec, trace)
+    events = [r for r in recs if r["t"] == "window"]
+    assert [e["event"] for e in events] == ["open", "close"]
+    assert events[0]["pc"] == hex(target_pc)
+    assert events[1]["records"] == 0
+    assert not [r for r in recs if r["t"] == "trace"]
+
+
+# -- edge case: overlapping windows ------------------------------------------
+
+
+def test_overlapping_windows_each_capture_independently():
+    trace = linear_trace(300)
+    spec = InstrumentSpec(triggers=(
+        TraceTrigger(start_cycle=0, length=50, label="a"),
+        TraceTrigger(start_cycle=10, length=50, label="b"),
+    ))
+    _, recs = run_with(spec, trace)
+    a = [r for r in recs if r["t"] == "trace" and r["window"] == "a"]
+    b = [r for r in recs if r["t"] == "trace" and r["window"] == "b"]
+    assert len(a) == 50 and len(b) == 50
+    # both windows saw overlapping instruction ranges, tagged separately
+    a_idx = {r["i"] for r in a}
+    b_idx = {r["i"] for r in b}
+    assert a_idx & b_idx, "expected the windows to overlap"
+
+
+# -- stop conditions ----------------------------------------------------------
+
+
+def test_stop_pc_closes_inclusively():
+    trace = linear_trace(200)
+    start, stop = int(trace.pc[20]), int(trace.pc[30])
+    spec = InstrumentSpec(triggers=(
+        TraceTrigger(start_pc=start, stop_pc=stop, label="w"),))
+    _, recs = run_with(spec, trace)
+    traced = [r for r in recs if r["t"] == "trace"]
+    assert traced[0]["pc"] == hex(start)
+    assert traced[-1]["pc"] == hex(stop)
+    assert len(traced) == 11
+    close = [r for r in recs if r["t"] == "window"
+             and r["event"] == "close"][0]
+    assert close["reason"] == "pc"
+
+
+def test_stop_cycle_closes_window():
+    trace = linear_trace(400)
+    spec = InstrumentSpec(triggers=(
+        TraceTrigger(start_cycle=0, stop_cycle=50, label="w"),))
+    _, recs = run_with(spec, trace)
+    close = [r for r in recs if r["t"] == "window"
+             and r["event"] == "close"][0]
+    assert close["reason"] == "cycle"
+    traced = [r for r in recs if r["t"] == "trace"]
+    assert traced, "window should have captured something"
+    assert all(r["cycle"] <= close["cycle"] for r in traced)
+
+
+def test_max_records_caps_an_unbounded_window():
+    trace = linear_trace(500)
+    spec = InstrumentSpec(triggers=(
+        TraceTrigger(max_records=25, label="cap"),))
+    _, recs = run_with(spec, trace)
+    assert len([r for r in recs if r["t"] == "trace"]) == 25
+    close = [r for r in recs if r["t"] == "window"
+             and r["event"] == "close"][0]
+    assert close["reason"] == "max-records"
+
+
+def test_window_left_open_is_closed_at_seal():
+    trace = linear_trace(50)
+    spec = InstrumentSpec(triggers=(
+        TraceTrigger(start_cycle=0, length=10_000, label="w"),))
+    _, recs = run_with(spec, trace)
+    close = [r for r in recs if r["t"] == "window"
+             and r["event"] == "close"][0]
+    assert close["reason"] == "eof"
+    assert close["records"] == 50
+
+
+def test_unmatched_start_pc_never_opens():
+    trace = linear_trace(100)
+    spec = InstrumentSpec(triggers=(
+        TraceTrigger(start_pc=0xDEAD_0000, label="no"),))
+    _, recs = run_with(spec, trace)
+    assert not [r for r in recs if r["t"] in ("window", "trace")]
+
+
+# -- markers ------------------------------------------------------------------
+
+
+def test_marker_addr_round_trip():
+    a = marker_addr(FIRST_USER_MARKER, 0xDEADBEEF)
+    assert is_marker_addr(a)
+    assert decode_marker(a) == (FIRST_USER_MARKER, 0xDEADBEEF)
+    with pytest.raises(ValueError):
+        marker_addr(1 << 16)
+    with pytest.raises(ValueError):
+        marker_addr(0, 1 << 32)
+    with pytest.raises(ValueError):
+        decode_marker(0x1234)
+
+
+def test_markers_round_trip_through_a_run():
+    tb = TraceBuilder()
+    tb.region_begin(3)
+    for _ in range(50):
+        tb.alu(1, 2, 3)
+    tb.marker(FIRST_USER_MARKER, 99)
+    for _ in range(50):
+        tb.alu(1, 2, 3)
+    tb.region_end(3)
+    trace = tb.build()
+    _, recs = run_with(InstrumentSpec(), trace)
+    markers = [r for r in recs if r["t"] == "marker"]
+    assert [(m["id"], m["value"]) for m in markers] == [
+        (1, 3), (FIRST_USER_MARKER, 99), (2, 3)]
+    cycles = [m["cycle"] for m in markers]
+    assert cycles == sorted(cycles)
+
+
+def test_markers_can_be_disabled():
+    tb = TraceBuilder()
+    tb.marker(FIRST_USER_MARKER, 1)
+    for _ in range(10):
+        tb.alu(1, 2, 3)
+    _, recs = run_with(InstrumentSpec(markers=False), tb.build())
+    assert not [r for r in recs if r["t"] == "marker"]
