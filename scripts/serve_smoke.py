@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Serve smoke check (CI): the farm-as-a-service surface, end to end.
+
+One background :class:`repro.serve.FarmServer` instance is driven
+through every serving contract the docs promise:
+
+1. two tenant queues with different priorities all complete, and every
+   served payload is **bit-identical** to serial ``execute_job``;
+2. a job submitted twice is served from the shared result store the
+   second time (terminal at submit, no second simulation), and the
+   store's durable hit/insert counters say so;
+3. a live job can be tailed mid-run and its stream ends with a seal
+   exactly when the job does;
+4. a running lockstep job survives preempt + resume and still matches
+   the uninterrupted serial payload bit for bit.
+
+Exit code 0 on success; any assertion failure is a regression.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.farm import Job, execute_job  # noqa: E402
+from repro.serve import FarmServer  # noqa: E402
+from repro.soc import ROCKET1, ROCKET2  # noqa: E402
+
+QUICK = dict(scale=0.05)
+SLOW = dict(scale=0.3, quantum=256)
+
+
+def main() -> int:
+    spool = pathlib.Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    with FarmServer.start_background(spool, deploy="local:2",
+                                     default_quota=1,
+                                     checkpoint_every=2) as handle:
+        client = handle.client()
+        assert client.ping()["protocol"] >= 1
+
+        # -- two tenants, mixed priorities, bit-identity ------------------
+        submitted = []
+        for tenant, priority, cfg, name in (
+                ("alice", 5, ROCKET1, "EI"),
+                ("alice", 0, ROCKET1, "Cca"),
+                ("bob", 2, ROCKET2, "EI"),
+                ("bob", 0, ROCKET2, "DP1f")):
+            job = Job.kernel(cfg, name, **QUICK)
+            doc = client.submit(job, tenant=tenant, priority=priority)
+            submitted.append((doc["id"], job))
+        for jid, job in submitted:
+            done = client.wait(jid, timeout_s=180)
+            assert done["state"] == "ok", done
+            assert done["payload"] == execute_job(job), \
+                f"served {jid} diverged from serial"
+        sched = client.status()["scheduler"]["tenants"]
+        assert set(sched) == {"alice", "bob"}, sched
+
+        # -- store round trip: resubmit is terminal at submit -------------
+        jid0, job0 = submitted[0]
+        again = client.submit(job0, tenant="carol")
+        assert again["state"] == "ok" and again["from_cache"], again
+        first = client.status(jid0, payload=True)["payload"]
+        assert client.status(again["id"], payload=True)["payload"] == first
+        store = client.status()["store"]
+        assert store["hits"] >= 1 and store["inserts"] >= len(submitted), store
+
+        # -- tail a live job mid-run --------------------------------------
+        live = client.submit(Job.kernel(ROCKET1, "MM", **SLOW),
+                             tenant="alice")
+        client.wait(live["id"], timeout_s=60, until={"running"})
+        records = list(client.tail(live["id"], follow=True, timeout_s=120))
+        events = [r["event"] for r in records if r.get("t") == "serve"]
+        assert events == ["queued", "start", "ok"], events
+        assert records[-1]["t"] == "seal", records[-1]
+        assert client.status(live["id"])["state"] == "ok"
+
+        # -- preempt + resume stays bit-identical -------------------------
+        pjob = Job.kernel(ROCKET2, "MM", **SLOW)
+        pre = client.submit(pjob, tenant="bob")
+        client.wait(pre["id"], timeout_s=60, until={"running"})
+        time.sleep(0.3)  # let a couple of checkpoints land
+        client.cancel(pre["id"], preempt=True)
+        parked = client.wait(pre["id"], timeout_s=60, until={"preempted"})
+        assert parked["attempts"] == 1, parked
+        client.resume(pre["id"])
+        done = client.wait(pre["id"], timeout_s=180)
+        assert done["state"] == "ok", done
+        assert done["resumed"] is True, done
+        assert done["payload"] == execute_job(pjob), \
+            "resumed payload diverged from uninterrupted serial run"
+
+    print(f"serve smoke ok: {len(submitted)} jobs across 2 tenant queues "
+          f"bit-identical to serial, store hit served carol, live tail "
+          f"sealed with the job, preempt+resume matched serial "
+          f"(attempts={done['attempts']}, resumed={done['resumed']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,8 +76,59 @@ def run_suite_bench(config=None, scale: float = 0.5, seed: int = 0,
         "off_uops_per_second": round(uops / off_s) if off_s else 0,
         "on_uops_per_second": round(uops / on_s) if on_s else 0,
         "fastpath_coverage": round(g.coverage, 4),
+        "span_solver": _span_solver_record(on_runs),
         "identical": identical,
     }
+
+
+def _span_solver_record(on_runs) -> dict[str, Any]:
+    """Per-kernel span-solver engagement for the accelerated pass.
+
+    Answers the question a bare ``fastpath_coverage: 0.0`` leaves open:
+    did the solver never *try* (no eligible spans in the traces — a
+    workload property) or did it try and *give up* (aborts — an engine
+    property)?  Per kernel: spans attempted/completed, the two abort
+    reasons, fast-path coverage, and the static analysis of why the
+    trace segments the way it does; plus a suite-wide roll-up including
+    the aggregate hazard-density histogram.
+    """
+    totals = {"spans": 0, "spans_completed": 0,
+              "aborts_no_converge": 0, "aborts_fe_hazard": 0,
+              "uops": 0, "eligible_uops": 0, "span_uops": 0,
+              "runs_below_min_span": 0}
+    hazard = [0] * 10
+    per_kernel: dict[str, Any] = {}
+    for name, run in on_runs.items():
+        info = getattr(run, "accel", None)
+        if not info:
+            continue
+        eng, static = info["engine"], info["static"]
+        fast = eng.get("fastpath_uops", 0)
+        slow = eng.get("fallback_uops", 0)
+        per_kernel[name] = {
+            "spans": eng.get("spans", 0),
+            "spans_completed": eng.get("spans_completed", 0),
+            "aborts_no_converge": eng.get("aborts_no_converge", 0),
+            "aborts_fe_hazard": eng.get("aborts_fe_hazard", 0),
+            "coverage": round(fast / (fast + slow), 4)
+            if fast + slow else 0.0,
+            "eligible_uops": static["eligible_uops"],
+            "uops": static["uops"],
+            "runs_below_min_span": static["runs_below_min_span"],
+        }
+        for k in ("spans", "spans_completed",
+                  "aborts_no_converge", "aborts_fe_hazard"):
+            totals[k] += eng.get(k, 0)
+        for k in ("uops", "eligible_uops", "span_uops",
+                  "runs_below_min_span"):
+            totals[k] += static[k]
+        hazard = [a + b for a, b in zip(hazard, static["hazard_density"])]
+    totals["eligible_frac"] = (round(totals["eligible_uops"]
+                                     / totals["uops"], 4)
+                               if totals["uops"] else 0.0)
+    totals["hazard_density"] = hazard
+    totals["per_kernel"] = per_kernel
+    return totals
 
 
 def run_interp_bench(iterations: int = 40) -> dict[str, Any]:

@@ -889,6 +889,7 @@ class AccelEngine:
         amo_extra = cfg.latencies.amo_extra
         fast_uops = 0
         slow_uops = 0
+        span_att = span_done = span_noconv = span_fehaz = 0
 
         span_idx = 0
         nspans = len(spans)
@@ -902,12 +903,12 @@ class AccelEngine:
                         # ---- vectorized span ----
                         span_idx += 1
                         m = sp.end - sp.start
-                        astats.spans += 1
+                        span_att += 1
                         lat_arr = lat_np[sp.op]
                         sol = solve_span(sp, lat_arr, W, cycle, slots,
                                          fe_ready, reg_ready)
                         if sol is None:
-                            astats.span_aborts += 1
+                            span_noconv += 1
                             limit = sp.end
                         else:
                             issue, d1, d2 = sol
@@ -967,8 +968,9 @@ class AccelEngine:
                             cur_line = wl_cur
                             line_entry = wl_entry
                             if k_abort < 0:
+                                span_done += 1
                                 continue
-                            astats.span_aborts += 1
+                            span_fehaz += 1
                             limit = sp.end
                             if i >= limit:
                                 continue
@@ -1111,9 +1113,18 @@ class AccelEngine:
                 bru_detach()
             astats.fastpath_uops += fast_uops
             astats.fallback_uops += slow_uops
+            astats.spans += span_att
+            astats.spans_completed += span_done
+            astats.span_aborts += span_noconv + span_fehaz
+            astats.aborts_no_converge += span_noconv
+            astats.aborts_fe_hazard += span_fehaz
             g = memo.global_stats()
             g.fastpath_uops += fast_uops
             g.fallback_uops += slow_uops
+            g.spans += span_att
+            g.spans_completed += span_done
+            g.aborts_no_converge += span_noconv
+            g.aborts_fe_hazard += span_fehaz
 
         end = cycle + cfg.pipeline_depth - 1
         core._time = cycle + 1

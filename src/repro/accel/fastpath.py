@@ -36,7 +36,7 @@ import numpy as np
 from repro.isa.opcodes import OpClass
 
 __all__ = ["SPAN_ELIGIBLE", "MIN_SPAN", "Span", "build_spans",
-           "segment_spans", "solve_span"]
+           "segment_spans", "solve_span", "span_diagnostics"]
 
 #: ops the generic timing rule covers: no memory port, no branch unit,
 #: no divider interlock, no vector unit occupancy
@@ -130,6 +130,58 @@ def segment_spans(op_col) -> list:
 def build_spans(trace) -> list:
     """Pre-analyzed :class:`Span` objects for every eligible run."""
     return [Span(trace, s, e) for s, e in segment_spans(trace.op)]
+
+
+def span_diagnostics(op_col, window: int = 256) -> dict:
+    """Static span-eligibility analysis of one trace (``repro bench``).
+
+    Explains *why* fast-path coverage is what it is, independent of any
+    simulation: how many uops are even eligible, how they clump into
+    accepted spans versus runs rejected for being shorter than
+    :data:`MIN_SPAN` (the dominant static rejection reason), and a
+    hazard-density histogram — the fraction of span-breaking uops in
+    each *window*-uop slice of the trace, bucketed by decile.  A trace
+    whose windows sit in the high-density buckets cannot form long
+    spans no matter how the segmenter cuts it.
+    """
+    op = np.asarray(op_col, dtype=np.uint8)
+    n = int(op.size)
+    out = {
+        "uops": n,
+        "eligible_uops": 0,
+        "min_span": MIN_SPAN,
+        "spans": 0,
+        "span_uops": 0,
+        "runs_below_min_span": 0,
+        "uops_below_min_span": 0,
+        #: windows per hazard-fraction decile [0-10%), [10-20%), ... 90%+
+        "hazard_density": [0] * 10,
+        "window": int(window),
+    }
+    if n == 0:
+        return out
+    elig = _ELIGIBLE_LUT[op]
+    out["eligible_uops"] = int(elig.sum())
+    edges = np.diff(np.concatenate(([False], elig, [False])).astype(np.int8))
+    starts = np.nonzero(edges == 1)[0]
+    ends = np.nonzero(edges == -1)[0]
+    lens = ends - starts
+    ok = lens >= MIN_SPAN
+    out["spans"] = int(ok.sum())
+    out["span_uops"] = int(lens[ok].sum())
+    out["runs_below_min_span"] = int((~ok).sum())
+    out["uops_below_min_span"] = int(lens[~ok].sum())
+    window = max(1, int(window))
+    nwin = (n + window - 1) // window
+    hazards = np.zeros(nwin * window, dtype=np.float64)
+    hazards[:n] = ~elig
+    per_win = hazards.reshape(nwin, window).sum(axis=1)
+    sizes = np.full(nwin, float(window))
+    sizes[-1] = n - (nwin - 1) * window
+    frac = per_win / sizes
+    bins = np.minimum((frac * 10).astype(np.int64), 9)
+    out["hazard_density"] = np.bincount(bins, minlength=10).tolist()
+    return out
 
 
 def solve_span(span: Span, lat: np.ndarray, width: int, cycle,

@@ -35,6 +35,13 @@ class AccelStats:
     fallback_uops: int = 0     #: uops retired by the scalar scoreboard path
     spans: int = 0             #: spans attempted by the vector engine
     span_aborts: int = 0       #: spans cut short (front-end miss / no converge)
+    spans_completed: int = 0   #: spans solved and retired end to end
+    #: rejection reasons behind ``span_aborts`` (the engagement split
+    #: ``repro bench`` reports): readiness fixed point failed to
+    #: converge vs. a real I-fetch stall invalidating the constant
+    #: front-end assumption mid-span
+    aborts_no_converge: int = 0
+    aborts_fe_hazard: int = 0
 
     @property
     def coverage(self) -> float:
@@ -63,6 +70,10 @@ class AccelGlobalStats:
     decode_misses: int = 0
     fastpath_uops: int = 0
     fallback_uops: int = 0
+    spans: int = 0
+    spans_completed: int = 0
+    aborts_no_converge: int = 0
+    aborts_fe_hazard: int = 0
 
     @property
     def coverage(self) -> float:

@@ -16,7 +16,8 @@ Commands
     perf-stat style counters for one kernel on one configuration.
 ``stats --config CFG --kernel NAME [--scale S] [--json|--csv] [--cold]``
     Full telemetry snapshot + per-tile CPI stack for one kernel run
-    (see ``docs/observability.md``).
+    (see ``docs/observability.md``); with ``--store DIR`` print a shared
+    result store's hit/miss/eviction counters and usage instead.
 ``experiment ID [--out FILE]``
     Regenerate a paper table/figure (fig1..fig7, table1/2/4/5, hostrate).
 ``farm [--configs A,B] [--kernels X,Y] [--workers N] [--cache-dir DIR]``
@@ -46,6 +47,24 @@ Commands
     Time the microbench sweep with ``accel`` off then on plus the
     functional interpreter, verify bit-identity, and write the tracked
     ``BENCH_<n>.json`` record (see ``docs/performance.md``).
+``serve [--spool DIR] [--deploy SPEC] [--quota N] [--tenant-quota T=N]``
+    Run the long-lived farm service: multi-tenant named queues with
+    integer priorities, per-tenant quotas and fair scheduling in front
+    of a pluggable deploy backend (``local:N`` pool or an
+    externally-provisioned ``hosts:a=2,b=4`` fleet), with a shared
+    cross-run result store (see ``docs/serving.md``).
+``submit KERNEL --endpoint SOCK [--tenant T] [--priority P] [--wait|--tail]``
+    Queue one kernel job on a running server; ``--wait`` blocks for the
+    result, ``--tail`` follows the job's live progress stream.
+``status [ID] --endpoint SOCK [--json]``
+    One job's state, or (without ID) the whole-server view: tenant
+    queues, deploy slots, and store hit/miss/eviction counters.
+``cancel ID --endpoint SOCK [--preempt]``
+    Cancel a queued/running job; ``--preempt`` checkpoint-stops a
+    running job so ``resume`` can continue it later.
+``resume ID --endpoint SOCK``
+    Re-queue a preempted job; it resumes from its last checkpoint and
+    finishes bit-identical to an uninterrupted run.
 ``check [--seeds N] [--tiers T,U] [--accel-all] [--no-shrink]``
     Property-based differential checking: fuzz generated RISC-V programs
     through the interpreter-vs-golden, accel on/off, checkpoint/restore,
@@ -58,6 +77,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .analysis import (
@@ -123,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.add_argument("--json", action="store_true", help="JSON snapshot")
     fmt.add_argument("--csv", action="store_true", help="flat counter CSV")
     st.add_argument("--out", default=None, help="also write the output here")
+    st.add_argument("--store", default=None, metavar="DIR",
+                    help="print the shared result store's hit/miss/eviction "
+                         "counters and usage instead of running a kernel")
 
     e = sub.add_parser("experiment", help="regenerate a paper artifact")
     e.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -172,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     fm.add_argument("--counters-interval", type=int, default=None,
                     help="sample counter deltas every N target cycles "
                          "into each job's stream (implies instrumentation)")
+    fm.add_argument("--deploy", default=None, metavar="SPEC",
+                    help="run-farm backend: 'local:N' pool or "
+                         "'hosts:a=2,b=4' externally-provisioned fleet "
+                         "(default: $REPRO_DEPLOY, else local pool)")
 
     tr = sub.add_parser("trace",
                         help="trigger-armed instruction trace window")
@@ -265,6 +292,82 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--json", action="store_true",
                    help="print the full record as JSON instead of a summary")
 
+    sv = sub.add_parser("serve", help="run the farm-as-a-service daemon")
+    sv.add_argument("--spool", default="serve-spool",
+                    help="server working directory (socket, streams, "
+                         "checkpoints, results, shared store)")
+    sv.add_argument("--deploy", default=None, metavar="SPEC",
+                    help="run-farm backend: 'local:N' or 'hosts:a=2,b=4' "
+                         "(default: $REPRO_DEPLOY, else local pool)")
+    sv.add_argument("--socket", default=None,
+                    help="listen on this Unix socket path "
+                         "(default: <spool>/serve.sock)")
+    sv.add_argument("--quota", type=int, default=None,
+                    help="default per-tenant concurrent-job quota "
+                         "(default: unlimited)")
+    sv.add_argument("--tenant-quota", action="append", default=[],
+                    metavar="TENANT=N",
+                    help="explicit quota for one tenant (repeatable)")
+    sv.add_argument("--retries", type=int, default=2,
+                    help="automatic re-queues for a failed/crashed job")
+    sv.add_argument("--timeout", type=float, default=None,
+                    help="default per-job timeout in seconds")
+    sv.add_argument("--checkpoint-every", type=int, default=2,
+                    help="quanta between preemption checkpoints")
+    sv.add_argument("--no-store", action="store_true",
+                    help="serve without the shared cross-run result store")
+    sv.add_argument("--store-dir", default=None,
+                    help="shared store location (default: <spool>/store)")
+    sv.add_argument("--store-max-entries", type=int, default=None,
+                    help="LRU-evict the store beyond this many entries")
+    sv.add_argument("--store-max-bytes", type=int, default=None,
+                    help="LRU-evict the store beyond this many bytes")
+
+    sb = sub.add_parser("submit", help="queue a job on a running server")
+    sb.add_argument("kernel", help="MicroBench kernel name")
+    sb.add_argument("--endpoint", default=None,
+                    help="server socket (default: $REPRO_SERVE)")
+    sb.add_argument("--config", default="Rocket1")
+    sb.add_argument("--scale", type=float, default=1.0)
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--quantum", type=int, default=None,
+                    help="lockstep quantum (makes the job preemptible)")
+    sb.add_argument("--timeout", type=float, default=None,
+                    help="per-job timeout in seconds")
+    sb.add_argument("--tenant", default="default")
+    sb.add_argument("--priority", type=int, default=0,
+                    help="higher dispatches first within the tenant")
+    sb.add_argument("--counters-interval", type=int, default=None,
+                    help="attach instrumentation sampling counters every "
+                         "N target cycles (stream lands in the spool)")
+    sb.add_argument("--wait", action="store_true",
+                    help="block until the job reaches a terminal state")
+    sb.add_argument("--tail", action="store_true",
+                    help="follow the job's progress stream until its seal")
+    sb.add_argument("--json", action="store_true",
+                    help="print the raw status document")
+
+    ss = sub.add_parser("status", help="job or whole-server status")
+    ss.add_argument("id", nargs="?", default=None,
+                    help="job id (omit for the whole-server view)")
+    ss.add_argument("--endpoint", default=None,
+                    help="server socket (default: $REPRO_SERVE)")
+    ss.add_argument("--json", action="store_true",
+                    help="print the raw status document")
+
+    cn = sub.add_parser("cancel", help="cancel (or preempt) a served job")
+    cn.add_argument("id")
+    cn.add_argument("--endpoint", default=None,
+                    help="server socket (default: $REPRO_SERVE)")
+    cn.add_argument("--preempt", action="store_true",
+                    help="checkpoint-stop a running job instead of "
+                         "cancelling it outright (resume later)")
+
+    rs = sub.add_parser("resume", help="re-queue a preempted job")
+    rs.add_argument("id")
+    rs.add_argument("--endpoint", default=None,
+                    help="server socket (default: $REPRO_SERVE)")
+
     chk = sub.add_parser("check",
                          help="differential fuzzing across every oracle")
     chk.add_argument("--seeds", type=int, default=25,
@@ -320,9 +423,18 @@ def _format_record(rec: dict) -> str:
         summary = ", ".join(f"{k}={v}" for k, v in hot)
         return (f"{rec['cycle']:>12}  {'':>12}  COUNTER    "
                 f"sample={rec['sample']} {summary}")
+    if kind == "serve":
+        extra = "".join(f" {k}={rec[k]}" for k in ("host", "error")
+                        if rec.get(k) is not None)
+        return (f"{'':>12}  {'':>12}  SERVE      event={rec['event']} "
+                f"job={rec.get('job')} state={rec.get('state')}{extra}")
     if kind == "meta":
-        return (f"{'':>12}  {'':>12}  META       config={rec['config']} "
-                f"resumed={rec['resumed']}")
+        # instrument streams carry config/resumed; serve streams carry
+        # the job identity instead — show whichever fields are present
+        fields = " ".join(f"{k}={rec[k]}" for k in
+                          ("source", "config", "workload", "job", "resumed")
+                          if k in rec)
+        return f"{'':>12}  {'':>12}  META       {fields}"
     if kind == "seal":
         return (f"{'':>12}  {'':>12}  SEAL       reason={rec['reason']} "
                 f"records={rec['records']}")
@@ -398,6 +510,23 @@ def main(argv: list[str] | None = None) -> int:
         rep = perf_stat(get_config(args.config), trace,
                         warmup=not args.cold and kern.needs_warmup)
         print(rep.to_json() if args.json else rep.render())
+        return 0
+
+    if args.command == "stats" and args.store:
+        from .farm import SharedResultStore
+
+        snap = SharedResultStore(args.store).stats_snapshot()
+        if args.json:
+            text = json.dumps(snap.data, indent=2, sort_keys=True)
+        elif args.csv:
+            text = snap.to_csv().rstrip("\n")
+        else:
+            text = f"shared store {args.store}\n" + "\n".join(
+                f"  {k} = {v}" for k, v in sorted(snap.flat().items()))
+        print(text)
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(text + "\n")
         return 0
 
     if args.command == "stats":
@@ -497,7 +626,8 @@ def main(argv: list[str] | None = None) -> int:
                        fault_plan=plan, checkpoint_dir=args.checkpoint_dir,
                        checkpoint_every=args.checkpoint_every,
                        manifest_path=args.manifest,
-                       instrument=spec, instrument_dir=args.instrument_dir)
+                       instrument=spec, instrument_dir=args.instrument_dir,
+                       deploy=args.deploy)
         results = farm.run(jobs)
         stats = farm.stats
 
@@ -637,6 +767,16 @@ def main(argv: list[str] | None = None) -> int:
                   f"{s['on_seconds']}s, speedup x{s['speedup']}, "
                   f"coverage {s['fastpath_coverage']:.1%}, "
                   f"{'bit-identical' if s['identical'] else 'DIVERGED'}")
+            sp = s.get("span_solver")
+            if sp:
+                elig = sp.get("eligible_frac", 0.0)
+                print(f"spans  {sp['spans']} attempted, "
+                      f"{sp['spans_completed']} completed, aborts: "
+                      f"{sp['aborts_no_converge']} no-converge, "
+                      f"{sp['aborts_fe_hazard']} fe-hazard; "
+                      f"{elig:.1%} of uops span-eligible, "
+                      f"{sp['runs_below_min_span']} runs below min span, "
+                      f"hazard deciles {sp['hazard_density']}")
             print(f"interp {it['instructions']:,} instructions in "
                   f"{it['seconds']}s "
                   f"({it['instructions_per_second']:,} inst/s, "
@@ -645,6 +785,141 @@ def main(argv: list[str] | None = None) -> int:
             write_bench_json(record, args.out)
             print(f"wrote {args.out}")
         return 0 if record["suite"]["identical"] else 1
+
+    if args.command == "serve":
+        import asyncio
+
+        from .serve import FarmServer
+
+        quotas: dict[str, int] = {}
+        for spec_ in args.tenant_quota:
+            tenant, _, n = spec_.partition("=")
+            if not tenant or not n.isdigit():
+                print(f"bad --tenant-quota {spec_!r} (want TENANT=N)",
+                      file=sys.stderr)
+                return 2
+            quotas[tenant] = int(n)
+        server = FarmServer(
+            args.spool, deploy=args.deploy,
+            store=(False if args.no_store else args.store_dir),
+            quotas=quotas or None, default_quota=args.quota,
+            max_retries=args.retries, timeout_s=args.timeout,
+            checkpoint_every=args.checkpoint_every,
+            socket_path=args.socket,
+            store_max_entries=args.store_max_entries,
+            store_max_bytes=args.store_max_bytes)
+
+        def announce() -> None:
+            dep = server.deploy.describe()
+            print(f"serving on {server.socket_path} "
+                  f"({dep['kind']}, {server.deploy.total_slots} slot(s)); "
+                  f"clients: --endpoint {server.socket_path}",
+                  file=sys.stderr)
+
+        try:
+            asyncio.run(server.serve_forever(on_started=announce))
+        except KeyboardInterrupt:
+            print("interrupted; spool state kept", file=sys.stderr)
+        return 0
+
+    if args.command in ("submit", "status", "cancel", "resume"):
+        from .serve import ServeClient, ServeError
+
+        endpoint = args.endpoint or os.environ.get("REPRO_SERVE")
+        if not endpoint:
+            print("no server endpoint: pass --endpoint or set $REPRO_SERVE",
+                  file=sys.stderr)
+            return 2
+        client = ServeClient(endpoint)
+
+        def _job_line(doc: dict) -> str:
+            line = (f"{doc['id']} {doc['label']} "
+                    f"[{doc['tenant']} p{doc['priority']}]: {doc['state']}")
+            if doc.get("cycles") is not None:
+                line += f", {doc['cycles']:,} cycles"
+            if doc.get("from_cache"):
+                line += " [store]"
+            if doc.get("resumed"):
+                line += " [resumed]"
+            if doc.get("error"):
+                line += f" ({doc['error']})"
+            return line
+
+        try:
+            if args.command == "submit":
+                from .farm import Job
+
+                job = Job.kernel(get_config(args.config), args.kernel,
+                                 scale=args.scale, seed=args.seed,
+                                 quantum=args.quantum,
+                                 timeout_s=args.timeout)
+                instrument = None
+                if args.counters_interval:
+                    from .instrument import InstrumentSpec
+
+                    instrument = InstrumentSpec(
+                        counter_interval=args.counters_interval).to_dict()
+                doc = client.submit(job, tenant=args.tenant,
+                                    priority=args.priority,
+                                    instrument=instrument)
+                if args.tail and doc["state"] in ("queued", "running"):
+                    for rec in client.tail(doc["id"], follow=True):
+                        print(_format_record(rec), flush=True)
+                    doc = client.status(doc["id"])
+                elif args.wait:
+                    doc = client.wait(doc["id"])
+                print(json.dumps(doc, indent=2, sort_keys=True)
+                      if args.json else _job_line(doc))
+                if not args.json and doc.get("stream"):
+                    print(f"  stream: {doc['stream']}")
+                return 0 if doc["state"] != "failed" else 1
+
+            if args.command == "status":
+                if args.id:
+                    doc = client.status(args.id)
+                    if args.json:
+                        print(json.dumps(doc, indent=2, sort_keys=True))
+                    else:
+                        print(_job_line(doc))
+                        if doc.get("stream"):
+                            print(f"  stream: {doc['stream']}")
+                        for s in doc.get("instrument_streams", []):
+                            print(f"  instrument: {s}")
+                    return 0
+                doc = client.status()
+                if args.json:
+                    print(json.dumps(doc, indent=2, sort_keys=True))
+                    return 0
+                dep = doc["deploy"]
+                busy = sum(h["busy"] for h in dep["hosts"])
+                print(f"deploy: {dep['kind']}, {busy}/{dep['total_slots']} "
+                      f"slot(s) busy")
+                for name, t in doc["scheduler"]["tenants"].items():
+                    print(f"tenant {name}: {t['running']} running, "
+                          f"{t['queued']} queued, quota {t['quota']}")
+                for j in doc["jobs"]:
+                    print(_job_line(j))
+                if "store" in doc:
+                    s = doc["store"]
+                    print(f"store: {s['entries']} entries, {s['bytes']} "
+                          f"bytes, hit rate {s['hit_rate']:.1%} "
+                          f"({s['hits']} hit(s), {s['misses']} miss(es), "
+                          f"{s['evictions']} evicted)")
+                return 0
+
+            if args.command == "cancel":
+                doc = client.cancel(args.id, preempt=args.preempt)
+                verb = "preempting" if args.preempt else "cancelling"
+                print(f"{doc['id']}: {doc['state']}"
+                      + (f" ({verb})" if doc["state"] == "running" else ""))
+                return 0
+
+            doc = client.resume(args.id)  # resume
+            print(_job_line(doc))
+            return 0
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.command == "check":
         from pathlib import Path

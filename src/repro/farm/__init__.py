@@ -10,6 +10,12 @@ for the reproduction.  Entry points:
   are bit-identical to a serial run regardless of worker count.
 * :class:`ResultCache` — content-addressed on-disk payload cache keyed
   by the full job identity; warm re-runs simulate nothing.
+* :class:`SharedResultStore` — the cache promoted to a cross-run store:
+  LRU size budgets and durable hit/miss/eviction stats safe under
+  concurrent server workers (``docs/serving.md``).
+* :class:`DeployManager` — pluggable host-slot backends (local pool,
+  FireSim-style externally provisioned fleet); results are
+  bit-identical across backends.
 * :class:`FarmStats` — scheduler counters (cache hits, retries,
   timeouts), exported as a :class:`repro.telemetry.Snapshot`.
 
@@ -20,6 +26,14 @@ full reproduction.  See ``docs/farm.md``.
 """
 
 from .cache import CACHE_SCHEMA, ResultCache, cache_key
+from .deploy import (
+    DeployManager,
+    ExternallyProvisionedDeployManager,
+    HostSpec,
+    LocalDeployManager,
+    parse_deploy_spec,
+    resolve_deploy,
+)
 from .job import JOB_KINDS, Job, JobResult, execute_job
 from .runfarm import (
     FARM_SCHEMA,
@@ -30,20 +44,30 @@ from .runfarm import (
     resolve_workers,
     run_jobs,
 )
+from .store import STORE_SCHEMA, SharedResultStore, StoreStats
 
 __all__ = [
     "CACHE_SCHEMA",
+    "DeployManager",
+    "ExternallyProvisionedDeployManager",
     "FARM_SCHEMA",
     "FarmEvent",
     "FarmStats",
+    "HostSpec",
     "JOB_KINDS",
     "Job",
     "JobResult",
+    "LocalDeployManager",
     "ResultCache",
     "RunFarm",
+    "STORE_SCHEMA",
+    "SharedResultStore",
+    "StoreStats",
     "cache_key",
     "execute_job",
+    "parse_deploy_spec",
     "resolve_cache",
+    "resolve_deploy",
     "resolve_workers",
     "run_jobs",
 ]

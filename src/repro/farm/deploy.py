@@ -1,0 +1,227 @@
+"""Deploy managers: pluggable run-farm host-slot backends.
+
+FireSim separates *what* to run (the manager's job list) from *where* to
+run it (a run farm of provisioned hosts).  Its ``externally_provisioned``
+run farm takes a fixed fleet of pre-existing hosts, each with a declared
+simulation capacity, and the manager packs simulations onto free slots.
+This module is the same split for the reproduction: a
+:class:`DeployManager` owns the host-slot inventory, and the scheduler
+(:class:`~repro.farm.runfarm.RunFarm` or the ``repro.serve`` server)
+asks it for a slot before launching each worker and hands the slot back
+when the worker is reaped.
+
+Backends:
+
+* :class:`LocalDeployManager` — one host (``local``) with N identical
+  slots; byte-for-byte the farm's historical ``workers=N`` pool.
+* :class:`ExternallyProvisionedDeployManager` — a fixed fleet of named
+  hosts with per-host capacities (FireSim's ``externally_provisioned``
+  analogue).  Slot assignment is deterministic (least-loaded fraction,
+  ties broken by declaration order) so a re-run packs jobs onto the
+  same hosts.
+
+Where a job runs is **provenance, never identity**: every backend
+launches the same worker entry point on the same machine, so payloads
+are bit-identical across backends by construction — the host name only
+lands in :class:`~repro.farm.job.JobResult` host-side metadata.
+
+Spec strings (``--deploy`` / ``$REPRO_DEPLOY``)::
+
+    local            one slot (serial)
+    local:8          eight local slots
+    hosts:a=2,b=4    externally provisioned: host a (2 slots), b (4)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = [
+    "DeployManager",
+    "ExternallyProvisionedDeployManager",
+    "HostSpec",
+    "LocalDeployManager",
+    "parse_deploy_spec",
+    "resolve_deploy",
+]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One run-farm host: a name and how many simulations it can hold."""
+
+    name: str
+    slots: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("host name must be non-empty")
+        if self.slots < 1:
+            raise ValueError(f"host {self.name!r} needs >= 1 slot, "
+                             f"got {self.slots}")
+
+
+class DeployManager:
+    """Host-slot inventory shared by every run-farm backend.
+
+    The scheduler contract is two calls: :meth:`acquire` returns the
+    name of a host with a free slot (or ``None`` when the farm is
+    saturated) and marks it busy; :meth:`release` frees it.  Acquisition
+    order is deterministic for a fixed acquire/release sequence.
+    """
+
+    kind = "base"
+
+    def __init__(self, hosts: Sequence[HostSpec]) -> None:
+        if not hosts:
+            raise ValueError("a deploy manager needs at least one host")
+        names = [h.name for h in hosts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate host names in {names}")
+        self.hosts = tuple(hosts)
+        self._busy: dict[str, int] = {h.name: 0 for h in hosts}
+
+    @property
+    def total_slots(self) -> int:
+        return sum(h.slots for h in self.hosts)
+
+    @property
+    def busy_slots(self) -> int:
+        return sum(self._busy.values())
+
+    @property
+    def free_slots(self) -> int:
+        return self.total_slots - self.busy_slots
+
+    def acquire(self) -> str | None:
+        """Claim one slot; returns its host name, or None when full.
+
+        Picks the host with the lowest occupancy *fraction* (spreading
+        load the way FireSim packs FPGAs across hosts), declaration
+        order breaking ties, so assignment is reproducible.
+        """
+        best: HostSpec | None = None
+        best_frac = 2.0
+        for h in self.hosts:
+            busy = self._busy[h.name]
+            if busy >= h.slots:
+                continue
+            frac = busy / h.slots
+            if frac < best_frac:
+                best, best_frac = h, frac
+        if best is None:
+            return None
+        self._busy[best.name] += 1
+        return best.name
+
+    def release(self, host: str) -> None:
+        if self._busy.get(host, 0) <= 0:
+            raise ValueError(f"release of idle/unknown host {host!r}")
+        self._busy[host] -= 1
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able inventory summary (manifests, `repro status`)."""
+        return {
+            "kind": self.kind,
+            "total_slots": self.total_slots,
+            "hosts": [{"name": h.name, "slots": h.slots,
+                       "busy": self._busy[h.name]} for h in self.hosts],
+        }
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.busy_slots}/"
+                f"{self.total_slots} slots busy)")
+
+
+class LocalDeployManager(DeployManager):
+    """The historical multiprocessing pool: one host, N identical slots."""
+
+    kind = "local"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__([HostSpec("local", max(1, int(workers)))])
+
+
+class ExternallyProvisionedDeployManager(DeployManager):
+    """A fixed fleet of named hosts with per-host simulation capacity.
+
+    Modeled on FireSim's ``externally_provisioned`` run farm: the fleet
+    is declared up front (nothing is launched or torn down), and the
+    manager only packs simulations onto the declared slots.  Workers
+    still execute locally — the host name is provenance that flows into
+    ``JobResult.host`` and the run manifest.
+    """
+
+    kind = "externally-provisioned"
+
+    def __init__(self, hosts: Sequence[HostSpec | tuple[str, int] | str],
+                 ) -> None:
+        specs: list[HostSpec] = []
+        for h in hosts:
+            if isinstance(h, HostSpec):
+                specs.append(h)
+            elif isinstance(h, str):
+                specs.append(HostSpec(h))
+            else:
+                name, slots = h
+                specs.append(HostSpec(str(name), int(slots)))
+        super().__init__(specs)
+
+
+def parse_deploy_spec(spec: str) -> DeployManager:
+    """Build a deploy manager from a spec string (see module docstring)."""
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty deploy spec")
+    if spec == "local":
+        return LocalDeployManager(1)
+    if spec.startswith("local:"):
+        try:
+            return LocalDeployManager(int(spec.split(":", 1)[1]))
+        except ValueError:
+            raise ValueError(f"bad local deploy spec {spec!r} "
+                             "(want local:<workers>)") from None
+    if spec.startswith("hosts:"):
+        body = spec.split(":", 1)[1]
+        hosts: list[HostSpec] = []
+        for part in body.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                name, _, slots = part.partition("=")
+                try:
+                    hosts.append(HostSpec(name.strip(), int(slots)))
+                except ValueError:
+                    raise ValueError(
+                        f"bad host entry {part!r} in {spec!r} "
+                        "(want name=slots)") from None
+            else:
+                hosts.append(HostSpec(part))
+        if not hosts:
+            raise ValueError(f"deploy spec {spec!r} names no hosts")
+        return ExternallyProvisionedDeployManager(hosts)
+    raise ValueError(
+        f"unknown deploy spec {spec!r}; want 'local[:N]' or "
+        "'hosts:name=slots,...'")
+
+
+def resolve_deploy(deploy: DeployManager | str | None = None,
+                   workers: int | None = None) -> DeployManager:
+    """Normalise a deploy argument the way :func:`resolve_workers` does.
+
+    Precedence: an explicit manager or spec string, else ``$REPRO_DEPLOY``,
+    else a :class:`LocalDeployManager` sized by *workers* (which itself
+    falls back to ``$REPRO_WORKERS``, then 1).
+    """
+    if isinstance(deploy, DeployManager):
+        return deploy
+    if isinstance(deploy, str):
+        return parse_deploy_spec(deploy)
+    env = os.environ.get("REPRO_DEPLOY")
+    if env:
+        return parse_deploy_spec(env)
+    from .runfarm import resolve_workers
+    return LocalDeployManager(resolve_workers(workers))

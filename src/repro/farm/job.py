@@ -196,6 +196,9 @@ class JobResult:
     elapsed_s: float = 0.0      #: host wall-clock of the final attempt
     #: final successful attempt resumed from a mid-run checkpoint
     resumed: bool = False
+    #: deploy-manager host slot that ran the final attempt (provenance —
+    #: payloads are bit-identical regardless of which host produced them)
+    host: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -299,6 +302,13 @@ def _run_kernel_job_inner(job: Job, attempt: int, ctx: ExecContext,
                                  extra=("farm_kernel", do_warmup))
             hit = memo.memo_get(mkey)
             if hit is not None:
+                # the key is content-addressed (trace + config digests),
+                # so seed-invariant kernels collide across seeds: the
+                # simulation outputs transfer, the job-identity metadata
+                # does not — re-stamp it for *this* job
+                hit["workload"] = kern.spec.name
+                hit["seed"] = job.seed
+                hit["scale"] = scale
                 return hit
         if do_warmup:
             system.run(trace)

@@ -8,6 +8,12 @@ fault model simple — a crashed, raising, or hung worker is terminated
 and retried with backoff without poisoning any shared executor state,
 and a per-job timeout is just ``Process.terminate``.
 
+Host-slot inventory is delegated to a pluggable
+:class:`~repro.farm.deploy.DeployManager` (the FireSim manager/run-farm
+split): the scheduler acquires a slot before launching a worker and
+releases it at reap, so the local pool and an externally provisioned
+host fleet run through one code path and produce bit-identical results.
+
 Determinism contract: the merged result list is ordered by submission
 index and every payload comes from :func:`repro.farm.job.execute_job`,
 so the output is bit-identical for any worker count and any completion
@@ -35,6 +41,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..telemetry import Snapshot
 from .cache import ResultCache, cache_key
+from .deploy import DeployManager, resolve_deploy
 from .job import ExecContext, Job, JobResult, execute_job_meta
 
 __all__ = [
@@ -115,14 +122,16 @@ class FarmEvent:
 class _Running:
     """Parent-side record of one in-flight worker process."""
 
-    __slots__ = ("proc", "conn", "key", "attempt", "started")
+    __slots__ = ("proc", "conn", "key", "attempt", "started", "host")
 
-    def __init__(self, proc, conn, key: str | None, attempt: int) -> None:
+    def __init__(self, proc, conn, key: str | None, attempt: int,
+                 host: str | None = None) -> None:
         self.proc = proc
         self.conn = conn
         self.key = key
         self.attempt = attempt
         self.started = time.monotonic()
+        self.host = host
 
 
 def _worker_main(conn, job: Job, attempt: int,
@@ -151,7 +160,14 @@ class RunFarm:
     ----------
     workers:
         Worker process count; ``None`` reads ``$REPRO_WORKERS``; 1 runs
-        serially in-process.
+        serially in-process.  Ignored when *deploy* is given (the
+        backend's slot inventory wins).
+    deploy:
+        :class:`~repro.farm.deploy.DeployManager`, a spec string
+        (``"local:4"``, ``"hosts:a=2,b=4"``), or ``None``
+        (``$REPRO_DEPLOY`` if set, else a local pool of *workers*
+        slots).  Selects where jobs land; results are bit-identical
+        across backends.
     cache:
         :class:`ResultCache`, a directory path, or ``None``
         (``$REPRO_CACHE_DIR`` if set, else uncached).
@@ -207,8 +223,10 @@ class RunFarm:
                  checkpoint_every: int = 8,
                  manifest_path: str | os.PathLike | None = None,
                  instrument=None,
-                 instrument_dir: str | os.PathLike | None = None) -> None:
-        self.workers = resolve_workers(workers)
+                 instrument_dir: str | os.PathLike | None = None,
+                 deploy: DeployManager | str | None = None) -> None:
+        self.deploy = resolve_deploy(deploy, workers)
+        self.workers = self.deploy.total_slots
         self.cache = resolve_cache(cache)
         self.timeout_s = timeout_s
         self.max_retries = max(0, int(max_retries))
@@ -362,11 +380,12 @@ class RunFarm:
         doc = {
             "schema": FARM_SCHEMA,
             "interrupted": self.interrupted,
+            "deploy": self.deploy.describe(),
             "stats": dataclasses.asdict(self.stats),
             "jobs": [
                 {"index": r.index, "label": r.job.label, "status": r.status,
                  "attempts": r.attempts, "from_cache": r.from_cache,
-                 "resumed": r.resumed, "error": r.error,
+                 "resumed": r.resumed, "error": r.error, "host": r.host,
                  "elapsed_s": round(r.elapsed_s, 6)}
                 for r in results
             ],
@@ -386,7 +405,8 @@ class RunFarm:
 
     def _complete(self, results, index: int, job: Job, key: str | None,
                   payload: dict[str, Any], attempts: int,
-                  elapsed_s: float, meta: dict | None = None) -> None:
+                  elapsed_s: float, meta: dict | None = None,
+                  host: str | None = None) -> None:
         self.stats.simulated += 1
         resumed = bool(meta and meta.get("resumed"))
         if resumed:
@@ -395,14 +415,15 @@ class RunFarm:
             self.cache.put(key, job, payload)
         results[index] = JobResult(job=job, index=index, status="ok",
                                    payload=payload, attempts=attempts,
-                                   elapsed_s=elapsed_s, resumed=resumed)
+                                   elapsed_s=elapsed_s, resumed=resumed,
+                                   host=host)
         self._emit("ok", index, job, attempt=attempts, elapsed_s=elapsed_s)
 
     def _fail(self, results, index: int, job: Job, attempts: int,
-              error: str, elapsed_s: float) -> None:
+              error: str, elapsed_s: float, host: str | None = None) -> None:
         results[index] = JobResult(job=job, index=index, status="failed",
                                    attempts=attempts, error=error,
-                                   elapsed_s=elapsed_s)
+                                   elapsed_s=elapsed_s, host=host)
         self._emit("failed", index, job, attempt=attempts, error=error,
                    elapsed_s=elapsed_s)
 
@@ -411,6 +432,7 @@ class RunFarm:
     def _run_serial(self, jobs: Sequence[Job],
                     todo: Sequence[tuple[int, str | None]],
                     results: list[JobResult | None]) -> None:
+        host = self.deploy.hosts[0].name
         for index, key in todo:
             job = jobs[index]
             error = "not attempted"
@@ -434,12 +456,12 @@ class RunFarm:
                     self._complete(results, index, job, key, payload,
                                    attempts=attempt,
                                    elapsed_s=time.monotonic() - t0,
-                                   meta=meta)
+                                   meta=meta, host=host)
                     break
             else:
                 self._fail(results, index, job,
                            attempts=self.max_retries + 1, error=error,
-                           elapsed_s=0.0)
+                           elapsed_s=0.0, host=host)
 
     # -- parallel mode -------------------------------------------------------
 
@@ -461,7 +483,8 @@ class RunFarm:
         ]
         running: dict[int, _Running] = {}
 
-        def launch(index: int, key: str | None, attempt: int) -> None:
+        def launch(index: int, key: str | None, attempt: int,
+                   host: str) -> None:
             recv, send = ctx.Pipe(duplex=False)
             exec_ctx = self._exec_ctx(index, attempt, in_process=False)
             proc = ctx.Process(target=_worker_main,
@@ -469,7 +492,7 @@ class RunFarm:
                                daemon=True)
             proc.start()
             send.close()
-            running[index] = _Running(proc, recv, key, attempt)
+            running[index] = _Running(proc, recv, key, attempt, host=host)
             self._emit("start", index, jobs[index], attempt=attempt)
 
         def reap(index: int) -> _Running:
@@ -481,6 +504,8 @@ class RunFarm:
             if r.proc.is_alive():
                 r.proc.terminate()
             r.proc.join(timeout=5.0)
+            if r.host is not None:
+                self.deploy.release(r.host)
             return r
 
         def retry_or_fail(index: int, r: _Running, error: str) -> None:
@@ -494,16 +519,19 @@ class RunFarm:
             else:
                 self._fail(results, index, jobs[index], attempts=r.attempt,
                            error=error,
-                           elapsed_s=time.monotonic() - r.started)
+                           elapsed_s=time.monotonic() - r.started,
+                           host=r.host)
 
         try:
             while waiting or running:
                 now = time.monotonic()
                 waiting.sort()
-                while (waiting and len(running) < self.workers
-                       and waiting[0][0] <= now):
+                while waiting and waiting[0][0] <= now:
+                    host = self.deploy.acquire()
+                    if host is None:
+                        break
                     _, index, key, attempt = waiting.pop(0)
-                    launch(index, key, attempt)
+                    launch(index, key, attempt, host)
 
                 progressed = False
                 for index in list(running):
@@ -522,7 +550,7 @@ class RunFarm:
                             self._complete(results, index, jobs[index], r.key,
                                            data, attempts=r.attempt,
                                            elapsed_s=now - r.started,
-                                           meta=meta)
+                                           meta=meta, host=r.host)
                         else:
                             self.stats.errors += 1
                             retry_or_fail(index, r, str(data))
@@ -562,6 +590,7 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
              manifest_path: str | os.PathLike | None = None,
              instrument=None,
              instrument_dir: str | os.PathLike | None = None,
+             deploy: DeployManager | str | None = None,
              strict: bool = False) -> list[JobResult]:
     """One-call convenience: build a :class:`RunFarm`, run *jobs*.
 
@@ -575,7 +604,8 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
                    checkpoint_dir=checkpoint_dir,
                    checkpoint_every=checkpoint_every,
                    manifest_path=manifest_path,
-                   instrument=instrument, instrument_dir=instrument_dir)
+                   instrument=instrument, instrument_dir=instrument_dir,
+                   deploy=deploy)
     results = farm.run(jobs)
     if strict:
         failed = [r for r in results if not r.ok]

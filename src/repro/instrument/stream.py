@@ -128,7 +128,9 @@ def read_stream(source: str | os.PathLike | InstrumentStream,
         if source.path is None:
             return list(source.records)
         source = source.path
-    text = Path(source).read_text(encoding="utf-8")
+    # bytes + lossy decode: a writer killed mid-append can leave a torn
+    # multibyte UTF-8 sequence that text-mode reading would raise on
+    text = Path(source).read_bytes().decode("utf-8", errors="replace")
     return list(_parse_lines(iter(text.splitlines())))
 
 
@@ -144,22 +146,35 @@ def tail_stream(path: str | os.PathLike, follow: bool = False,
     """
     path = Path(path)
     deadline = time.monotonic() + timeout_s
-    buf = ""
+    buf = b""
     pos = 0
     while True:
         if path.exists():
-            with open(path, "r", encoding="utf-8") as fh:
+            # binary reads: a writer killed mid-append leaves a torn
+            # final record — possibly mid-multibyte-sequence — which a
+            # text-mode read would raise UnicodeDecodeError on instead
+            # of waiting for the next writer to complete the line
+            with open(path, "rb") as fh:
                 fh.seek(pos)
                 chunk = fh.read()
                 pos = fh.tell()
             buf += chunk
-            while "\n" in buf:
-                line, buf = buf.split("\n", 1)
-                for record in _parse_lines(iter([line])):
-                    yield record
-                    deadline = time.monotonic() + timeout_s
-                    if record.get("t") == "seal":
-                        return
+            while b"\n" in buf:
+                raw, buf = buf.split(b"\n", 1)
+                if not raw.strip():
+                    continue
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    # a torn record fused with a resumed writer's next
+                    # append: skip the damaged line, keep tailing
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                yield record
+                deadline = time.monotonic() + timeout_s
+                if record.get("t") == "seal":
+                    return
         if not follow:
             return
         if time.monotonic() > deadline:

@@ -1,0 +1,629 @@
+"""Long-lived asyncio farm server: queues in front of the run farm.
+
+``repro serve`` turns the batch-mode run farm into a service, the way a
+shared FireSim manager host fronts one FPGA fleet for many users.  One
+asyncio event loop owns four things:
+
+* a listening socket speaking the :mod:`repro.serve.protocol` wire
+  format (one JSON request line in, one JSON response line out);
+* the :class:`~repro.serve.queue.FairScheduler` holding tenant queues,
+  priorities, and quotas;
+* the :class:`~repro.farm.deploy.DeployManager` host-slot inventory —
+  the same pluggable backends batch sweeps use, so a served job lands
+  exactly where a ``repro farm`` job would;
+* one forked worker process per running job, watched through its result
+  pipe with ``loop.add_reader`` (a crashed worker closes the pipe, so
+  completion and death arrive through the same readiness event).
+
+Every job gets an append-only progress stream in the spool
+(``streams/<id>.jsonl``, the PR 6 tailable JSONL format): lifecycle
+records with ``"t": "serve"`` while the job moves through the queue,
+the worker's instrument records in a sibling file when instrumentation
+was requested, and a final ``seal`` record at any terminal state — so
+``repro tail --follow`` on a live job ends exactly when the job does.
+
+Preemption reuses :mod:`repro.reliability` checkpoints: lockstep kernel
+jobs (``quantum=`` set) checkpoint every ``checkpoint_every`` quanta
+into the spool, a preempt is just ``Process.terminate``, and a resume
+re-queues the record — the next attempt restores from the checkpoint
+and produces a payload bit-identical to an uninterrupted run.
+
+Payload determinism is inherited, not re-implemented: workers run
+:func:`repro.farm.job.execute_job_meta`, the single execution path
+shared with serial and batch-farm runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import pathlib
+import tempfile
+import threading
+import time
+from typing import Any
+
+from ..farm.cache import cache_key
+from ..farm.deploy import DeployManager, resolve_deploy
+from ..farm.job import ExecContext, Job
+from ..farm.runfarm import _worker_main
+from ..farm.store import SharedResultStore
+from ..instrument.stream import STREAM_SCHEMA, InstrumentStream
+from .protocol import PROTOCOL_VERSION, ServeError, job_from_wire
+from .queue import FairScheduler, JobRecord
+
+__all__ = ["FarmServer", "ServerHandle"]
+
+#: max request line the server will read (a submit with sources fits)
+_MAX_LINE = 10 * 1024 * 1024
+
+
+class _Active:
+    """Server-side record of one running worker process."""
+
+    __slots__ = ("rec", "proc", "conn", "fd", "started", "timed_out")
+
+    def __init__(self, rec: JobRecord, proc, conn) -> None:
+        self.rec = rec
+        self.proc = proc
+        self.conn = conn
+        self.fd = conn.fileno()
+        self.started = time.monotonic()
+        self.timed_out = False
+
+
+class FarmServer:
+    """The ``repro serve`` daemon (see module docstring).
+
+    Parameters
+    ----------
+    spool:
+        Server working directory: socket, per-job streams, checkpoints,
+        persisted results, manifest, and (by default) the shared store.
+    deploy:
+        Run-farm backend — a :class:`DeployManager`, a spec string
+        (``"local:4"``, ``"hosts:a=2,b=4"``), or ``None`` for the
+        environment default.  Same semantics as batch ``repro farm``.
+    store:
+        Shared cross-run :class:`SharedResultStore` (or its root path).
+        ``None`` opens ``<spool>/store``; pass ``store=False`` to serve
+        without one.  A store hit at submit time completes the job
+        without touching the scheduler.
+    quotas / default_quota:
+        Per-tenant concurrent-job quotas (see :class:`FairScheduler`).
+    max_retries:
+        Automatic re-queues after a crashed/raising/timed-out attempt.
+    timeout_s:
+        Default per-job wall-clock limit (jobs may override).
+    checkpoint_every:
+        Quanta between mid-run checkpoints for lockstep kernel jobs —
+        the knob that makes preemption cheap to resume.
+    """
+
+    def __init__(self, spool: str | os.PathLike,
+                 deploy: DeployManager | str | None = None,
+                 store: SharedResultStore | str | os.PathLike | None | bool = None,
+                 quotas: dict[str, int] | None = None,
+                 default_quota: int | None = None,
+                 max_retries: int = 2,
+                 backoff_s: float = 0.1,
+                 timeout_s: float | None = None,
+                 checkpoint_every: int = 2,
+                 socket_path: str | os.PathLike | None = None,
+                 store_max_entries: int | None = None,
+                 store_max_bytes: int | None = None) -> None:
+        self.spool = pathlib.Path(spool)
+        self.deploy = resolve_deploy(deploy, None)
+        if store is False:
+            self.store = None
+        elif isinstance(store, SharedResultStore):
+            self.store = store
+        else:
+            root = self.spool / "store" if store in (None, True) else store
+            self.store = SharedResultStore(root,
+                                           max_entries=store_max_entries,
+                                           max_bytes=store_max_bytes)
+        self.scheduler = FairScheduler(quotas=quotas,
+                                       default_quota=default_quota)
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_s = max(0.0, float(backoff_s))
+        self.timeout_s = timeout_s
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.socket_path = pathlib.Path(socket_path
+                                        if socket_path is not None
+                                        else self._default_socket())
+        self.jobs: dict[str, JobRecord] = {}
+        #: per-job instrument recipes (a submit-time option, not job identity)
+        self._instrument_specs: dict[str, dict] = {}
+        self._streams: dict[str, InstrumentStream] = {}
+        self._active: dict[str, _Active] = {}
+        self._seq = 0
+        self._closing = False
+        self._drain = True
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._done: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- paths ---------------------------------------------------------------
+
+    def _default_socket(self) -> pathlib.Path:
+        path = self.spool / "serve.sock"
+        # AF_UNIX paths are capped (~108 bytes); deep tmpdirs overflow it
+        if len(str(path)) > 96:
+            return pathlib.Path(tempfile.mkdtemp(prefix="repro-serve-")) / "s"
+        return path
+
+    def stream_path(self, job_id: str) -> pathlib.Path:
+        return self.spool / "streams" / f"{job_id}.jsonl"
+
+    def instrument_dir(self, job_id: str) -> pathlib.Path:
+        return self.spool / "streams" / job_id
+
+    @property
+    def checkpoint_dir(self) -> pathlib.Path:
+        return self.spool / "ckpt"
+
+    # -- progress streams ----------------------------------------------------
+
+    def _stream(self, rec: JobRecord) -> InstrumentStream:
+        stream = self._streams.get(rec.id)
+        if stream is None:
+            stream = InstrumentStream(self.stream_path(rec.id))
+            stream.write({"t": "meta", "schema": STREAM_SCHEMA,
+                          "source": "serve", "job": rec.id,
+                          "label": rec.job.label, "tenant": rec.tenant,
+                          "config": rec.job.config.name})
+            self._streams[rec.id] = stream
+        return stream
+
+    def _event(self, rec: JobRecord, event: str, **extra: Any) -> None:
+        """Append one lifecycle record to the job's progress stream."""
+        self._stream(rec).write({"t": "serve", "event": event,
+                                 "job": rec.id, "state": rec.state, **extra})
+
+    def _seal(self, rec: JobRecord) -> None:
+        stream = self._streams.pop(rec.id, None)
+        if stream is not None:
+            stream.seal(reason=rec.state)
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                req = json.loads(line.decode("utf-8"))
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+                resp = self._dispatch(req)
+            except ServeError as exc:
+                resp = {"ok": False, "error": str(exc)}
+            except (ValueError, KeyError, TypeError) as exc:
+                resp = {"ok": False, "error": f"bad request: {exc}"}
+            writer.write(json.dumps(resp, sort_keys=True).encode("utf-8")
+                         + b"\n")
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, req: dict[str, Any]) -> dict[str, Any]:
+        op = req.get("op")
+        if op == "ping":
+            return {"ok": True, "protocol": PROTOCOL_VERSION,
+                    "deploy": self.deploy.describe(),
+                    "scheduler": self.scheduler.describe(),
+                    "jobs": len(self.jobs), "running": len(self._active)}
+        if op == "submit":
+            return self._op_submit(req)
+        if op == "status":
+            return self._op_status(req)
+        if op == "cancel":
+            return self._op_cancel(req)
+        if op == "resume":
+            return self._op_resume(req)
+        if op == "shutdown":
+            return self._op_shutdown(req)
+        raise ServeError(f"unknown op {op!r}")
+
+    def _record(self, req: dict[str, Any]) -> JobRecord:
+        rec = self.jobs.get(str(req.get("id")))
+        if rec is None:
+            raise ServeError(f"unknown job id {req.get('id')!r}")
+        return rec
+
+    def _op_submit(self, req: dict[str, Any]) -> dict[str, Any]:
+        if self._closing:
+            raise ServeError("server is shutting down; submit rejected")
+        job = job_from_wire(req.get("job"))
+        tenant = str(req.get("tenant", "default"))
+        priority = int(req.get("priority", 0))
+        instrument = req.get("instrument")
+        if instrument is not None and not isinstance(instrument, dict):
+            raise ServeError("'instrument' must be an InstrumentSpec dict")
+        self._seq += 1
+        rec = JobRecord(id=f"j{self._seq:04d}", tenant=tenant,
+                        priority=priority, job=job, seq=self._seq)
+        rec.stream = str(self.stream_path(rec.id))
+        self.jobs[rec.id] = rec
+        self._event(rec, "queued", tenant=tenant, priority=priority)
+
+        # store fast path: a previously computed payload completes the
+        # job without ever touching the scheduler (instrumented submits
+        # skip it — a hit would yield no stream to tail)
+        if (self.store is not None and job.cacheable and instrument is None):
+            payload = self.store.get(cache_key(job))
+            if payload is not None:
+                rec.payload = payload
+                rec.from_cache = True
+                rec.state = "ok"
+                self._persist_result(rec)
+                self._event(rec, "store-hit")
+                self._seal(rec)
+                self._write_manifest()
+                return {"ok": True, **rec.describe()}
+
+        if instrument is not None:
+            self._instrument_specs[rec.id] = instrument
+        self.scheduler.submit(rec)
+        self._pump()
+        return {"ok": True, **rec.describe()}
+
+    def _op_status(self, req: dict[str, Any]) -> dict[str, Any]:
+        if req.get("id") is not None:
+            rec = self._record(req)
+            doc = rec.describe(with_payload=bool(req.get("payload")))
+            idir = self.instrument_dir(rec.id)
+            if idir.is_dir():
+                streams = sorted(str(p) for p in idir.glob("*.jsonl"))
+                if streams:
+                    doc["instrument_streams"] = streams
+            return {"ok": True, **doc}
+        doc = {
+            "ok": True,
+            "scheduler": self.scheduler.describe(),
+            "deploy": self.deploy.describe(),
+            "jobs": [self.jobs[k].describe() for k in sorted(self.jobs)],
+        }
+        if self.store is not None:
+            doc["store"] = self.store.stats_snapshot().data["store"]
+        return doc
+
+    def _op_cancel(self, req: dict[str, Any]) -> dict[str, Any]:
+        rec = self._record(req)
+        preempt = bool(req.get("preempt"))
+        if rec.done:
+            raise ServeError(f"job {rec.id} already {rec.state}")
+        if rec.state == "queued":
+            # never ran: preempting a queued job is just a cancel
+            self.scheduler.withdraw(rec)
+            rec.state = "cancelled"
+            self._event(rec, "cancelled", was="queued")
+            self._seal(rec)
+            self._write_manifest()
+        elif rec.state == "running":
+            if preempt:
+                rec.preempt_requested = True
+            else:
+                rec.cancel_requested = True
+            run = self._active.get(rec.id)
+            if run is not None and run.proc.is_alive():
+                run.proc.terminate()
+            # state transition happens when the worker pipe closes
+        elif rec.state == "preempted":
+            if preempt:
+                raise ServeError(f"job {rec.id} is already preempted")
+            rec.state = "cancelled"
+            self._event(rec, "cancelled", was="preempted")
+            self._seal(rec)
+            self._write_manifest()
+        return {"ok": True, **rec.describe()}
+
+    def _op_resume(self, req: dict[str, Any]) -> dict[str, Any]:
+        if self._closing:
+            raise ServeError("server is shutting down; resume rejected")
+        rec = self._record(req)
+        if rec.state != "preempted":
+            raise ServeError(
+                f"job {rec.id} is {rec.state}; only preempted jobs resume")
+        rec.state = "queued"
+        self._event(rec, "resume-queued")
+        self.scheduler.submit(rec)
+        self._pump()
+        return {"ok": True, **rec.describe()}
+
+    def _op_shutdown(self, req: dict[str, Any]) -> dict[str, Any]:
+        drain = bool(req.get("drain", True))
+        self._closing = True
+        self._drain = drain
+        if not drain:
+            for run in list(self._active.values()):
+                run.rec.preempt_requested = True
+                if run.proc.is_alive():
+                    run.proc.terminate()
+        self._maybe_finish()
+        return {"ok": True, "drain": drain,
+                "running": len(self._active),
+                "queued": self.scheduler.queued}
+
+    # -- dispatch loop -------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Launch queued jobs while slots and quotas allow."""
+        if self._closing and not self._drain:
+            return
+        while True:
+            host = self.deploy.acquire()
+            if host is None:
+                return
+            rec = self.scheduler.pick()
+            if rec is None:
+                self.deploy.release(host)
+                return
+            self._launch(rec, host)
+
+    def _mp_context(self):
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _exec_ctx(self, rec: JobRecord) -> ExecContext:
+        spec = self._instrument_specs.get(rec.id)
+        idir = None
+        if spec is not None:
+            idir = self.instrument_dir(rec.id)
+            idir.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        return ExecContext(checkpoint_dir=self.checkpoint_dir,
+                           checkpoint_every=self.checkpoint_every,
+                           in_process=False,
+                           instrument_spec=spec,
+                           instrument_dir=idir)
+
+    def _launch(self, rec: JobRecord, host: str) -> None:
+        ctx = self._mp_context()
+        recv, send = ctx.Pipe(duplex=False)
+        rec.attempts += 1
+        rec.state = "running"
+        rec.host = host
+        proc = ctx.Process(target=_worker_main,
+                           args=(send, rec.job, rec.attempts,
+                                 self._exec_ctx(rec)),
+                           daemon=True)
+        proc.start()
+        send.close()
+        run = _Active(rec, proc, recv)
+        self._active[rec.id] = run
+        self._event(rec, "start", attempt=rec.attempts, host=host)
+        assert self._loop is not None
+        self._loop.add_reader(run.fd, self._on_worker_done, rec.id)
+
+    def _on_worker_done(self, job_id: str) -> None:
+        """Worker pipe became readable: a result, an error, or EOF from
+        a dead/terminated process — all outcomes land here."""
+        run = self._active.pop(job_id, None)
+        if run is None:
+            return
+        assert self._loop is not None
+        self._loop.remove_reader(run.fd)
+        rec = run.rec
+        meta: dict[str, Any] = {}
+        try:
+            msg = run.conn.recv()
+            status, data = msg[0], msg[1]
+            if len(msg) > 2 and msg[2]:
+                meta = msg[2]
+        except (EOFError, OSError):
+            status, data = "crash", "worker exited without reporting"
+        try:
+            run.conn.close()
+        except OSError:
+            pass
+        if run.proc.is_alive():
+            run.proc.terminate()
+        run.proc.join(timeout=5.0)
+        rec.elapsed_s = time.monotonic() - run.started
+        self.deploy.release(run.host if rec.host is None else rec.host)
+        self.scheduler.job_finished(rec.tenant)
+        self._transition(rec, run, status, data, meta)
+        self._pump()
+        self._maybe_finish()
+
+    def _transition(self, rec: JobRecord, run: _Active, status: str,
+                    data: Any, meta: dict[str, Any]) -> None:
+        if rec.cancel_requested:
+            rec.state = "cancelled"
+            self._event(rec, "cancelled", was="running")
+            self._seal(rec)
+        elif rec.preempt_requested and status != "ok":
+            rec.preempt_requested = False
+            rec.state = "preempted"
+            ckpt = self.checkpoint_dir / f"{cache_key(rec.job)}.ckpt"
+            self._event(rec, "preempted", attempt=rec.attempts,
+                        checkpoint=ckpt.exists())
+            # stream stays unsealed: a resume continues the same file
+        elif status == "ok":
+            rec.payload = data
+            rec.resumed = bool(meta.get("resumed"))
+            rec.state = "ok"
+            if (self.store is not None and rec.job.cacheable
+                    and rec.id not in self._instrument_specs):
+                self.store.put(cache_key(rec.job), rec.job, data)
+            self._persist_result(rec)
+            self._event(rec, "ok", attempt=rec.attempts,
+                        resumed=rec.resumed, cycles=data.get("cycles"))
+            self._seal(rec)
+        else:
+            error = (f"timed out after "
+                     f"{self._job_timeout(rec.job):g}s" if run.timed_out
+                     else str(data))
+            rec.error = error
+            if rec.attempts <= self.max_retries and not self._closing:
+                rec.state = "queued"
+                self._event(rec, "retry", attempt=rec.attempts, error=error)
+                delay = min(self.backoff_s * rec.attempts, 2.0)
+                assert self._loop is not None
+                self._loop.call_later(delay, self._requeue, rec)
+            else:
+                rec.state = "failed"
+                self._event(rec, "failed", attempt=rec.attempts, error=error)
+                self._seal(rec)
+        if rec.done:
+            self._write_manifest()
+
+    def _requeue(self, rec: JobRecord) -> None:
+        if rec.state != "queued" or self._closing and not self._drain:
+            return
+        self.scheduler.submit(rec)
+        self._pump()
+
+    def _job_timeout(self, job: Job) -> float | None:
+        return job.timeout_s if job.timeout_s is not None else self.timeout_s
+
+    async def _watchdog(self) -> None:
+        """Kill running jobs that blew their wall-clock limit."""
+        while True:
+            await asyncio.sleep(0.05)
+            now = time.monotonic()
+            for run in list(self._active.values()):
+                limit = self._job_timeout(run.rec.job)
+                if (limit is not None and not run.timed_out
+                        and now - run.started > limit):
+                    run.timed_out = True
+                    if run.proc.is_alive():
+                        run.proc.terminate()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _persist_result(self, rec: JobRecord) -> None:
+        path = self.spool / "results" / f"{rec.id}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"id": rec.id, "tenant": rec.tenant, "label": rec.job.label,
+               "from_cache": rec.from_cache, "resumed": rec.resumed,
+               "attempts": rec.attempts, "payload": rec.payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(doc, f, sort_keys=True)
+        os.replace(tmp, path)
+        rec.result_path = str(path)
+
+    def _write_manifest(self) -> None:
+        path = self.spool / "manifest.json"
+        doc = {
+            "protocol": PROTOCOL_VERSION,
+            "deploy": self.deploy.describe(),
+            "scheduler": self.scheduler.describe(),
+            "jobs": [self.jobs[k].describe() for k in sorted(self.jobs)],
+        }
+        self.spool.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.spool, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _maybe_finish(self) -> None:
+        if not self._closing or self._active:
+            return
+        if self._drain and self.scheduler.queued:
+            return
+        if self._done is not None:
+            self._done.set()
+
+    async def start(self) -> None:
+        """Bind the socket and start background tasks."""
+        self.spool.mkdir(parents=True, exist_ok=True)
+        (self.spool / "streams").mkdir(exist_ok=True)
+        self._loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path), limit=_MAX_LINE)
+        self._watchdog_task = asyncio.ensure_future(self._watchdog())
+
+    async def serve_forever(self, on_started=None) -> None:
+        """Run until a ``shutdown`` request finishes draining."""
+        await self.start()
+        if on_started is not None:
+            on_started()
+        assert self._done is not None
+        try:
+            await self._done.wait()
+        finally:
+            self._watchdog_task.cancel()
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            for job_id, stream in list(self._streams.items()):
+                stream.seal(reason="server-shutdown")
+                self._streams.pop(job_id, None)
+            self._write_manifest()
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+
+    @classmethod
+    def start_background(cls, spool: str | os.PathLike,
+                         **kwargs: Any) -> "ServerHandle":
+        """Run a server on a daemon thread; returns a ready handle.
+
+        The in-process path that tests, doc examples, and the smoke
+        script use: the caller keeps the main thread (and its client)
+        and the server loop runs beside it.
+        """
+        server = cls(spool, **kwargs)
+        started = threading.Event()
+
+        def _run() -> None:
+            asyncio.run(server.serve_forever(on_started=started.set))
+
+        thread = threading.Thread(target=_run, daemon=True,
+                                  name="repro-serve")
+        thread.start()
+        if not started.wait(timeout=10.0):
+            raise ServeError("server failed to start within 10s")
+        return ServerHandle(server, thread)
+
+
+class ServerHandle:
+    """A background :class:`FarmServer` plus the thread running it."""
+
+    def __init__(self, server: FarmServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+
+    @property
+    def endpoint(self) -> str:
+        return str(self.server.socket_path)
+
+    def client(self):
+        from .client import ServeClient
+        return ServeClient(self.endpoint)
+
+    def stop(self, drain: bool = True, timeout_s: float = 60.0) -> None:
+        """Request shutdown and join the server thread."""
+        if self.thread.is_alive():
+            try:
+                self.client().shutdown(drain=drain)
+            except (ServeError, OSError):
+                pass  # already shutting down / socket gone
+        self.thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

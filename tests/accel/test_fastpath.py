@@ -20,6 +20,7 @@ from repro.accel.fastpath import (
     build_spans,
     segment_spans,
     solve_span,
+    span_diagnostics,
 )
 from repro.accel.stats import global_stats, reset_global_stats
 from repro.isa.opcodes import OpClass
@@ -128,3 +129,88 @@ def test_synthetic_spans_run_bit_identical():
     g = global_stats()
     assert g.fastpath_uops > 0, "span engine never fired on a span-heavy trace"
     assert g.fastpath_uops + g.fallback_uops == ref.instructions
+
+
+# ------------------------------------------------------- engagement counters
+
+def _span_heavy_trace():
+    b = TraceBuilder()
+    for rep in range(40):
+        for i in range(48):
+            b.alu(dst=1 + i % 8, src1=1 + (i + 3) % 8, src2=1 + (i + 5) % 8)
+        b.load(dst=9, addr=0x2_0000 + 64 * rep)
+        for i in range(40):
+            b.fp(OpClass.FP_FMA, dst=12 + i % 4, src1=9, src2=12 + (i + 1) % 4)
+        b.branch(taken=rep % 7 == 0)
+    return b.build()
+
+
+def test_engagement_counters_partition_attempts():
+    """spans == completed + aborts, and aborts == no_converge + fe_hazard,
+    on both the per-core and the process-global records."""
+    tr = _span_heavy_trace()
+    memo.clear_caches()
+    reset_global_stats()
+    system = System(ROCKET1.with_(accel="on"))
+    system.run(tr)
+    for st in (system.tiles[0].core.accel_stats, global_stats()):
+        assert st.spans > 0
+        assert st.spans == (st.spans_completed + st.aborts_no_converge
+                            + st.aborts_fe_hazard)
+    core = system.tiles[0].core.accel_stats
+    assert core.span_aborts == core.aborts_no_converge + core.aborts_fe_hazard
+
+
+def test_engagement_counters_complete_on_warm_frontend():
+    """Second pass over the same trace runs with a trained icache: the
+    constant-front-end assumption holds and spans complete end to end."""
+    tr = _span_heavy_trace()
+    memo.clear_caches()
+    system = System(ROCKET1.with_(accel="on"))
+    system.run(tr)
+    before = dataclasses.asdict(system.tiles[0].core.accel_stats)
+    system.run(tr)
+    after = dataclasses.asdict(system.tiles[0].core.accel_stats)
+    delta = {k: after[k] - before[k] for k in after}
+    assert delta["spans"] > 0
+    assert delta["spans_completed"] == delta["spans"]
+    assert delta["aborts_no_converge"] == delta["aborts_fe_hazard"] == 0
+
+
+# ------------------------------------------------------------- diagnostics
+
+def test_span_diagnostics_agrees_with_segmenter():
+    tr = _straightline(n_alu=80, n_fp=64)
+    d = span_diagnostics(tr.op)
+    spans = segment_spans(tr.op)
+    assert d["spans"] == len(spans)
+    assert d["span_uops"] == sum(e - s for s, e in spans)
+    assert d["uops"] == len(tr.op)
+    assert d["eligible_uops"] == 80 + 64
+    assert d["min_span"] == MIN_SPAN
+
+
+def test_span_diagnostics_counts_rejected_runs():
+    tr = _straightline(n_alu=MIN_SPAN - 1, n_fp=MIN_SPAN)
+    d = span_diagnostics(tr.op)
+    assert d["spans"] == 1
+    assert d["runs_below_min_span"] == 1
+    assert d["uops_below_min_span"] == MIN_SPAN - 1
+
+
+def test_span_diagnostics_hazard_histogram():
+    d = span_diagnostics(np.array([], dtype=np.uint8))
+    assert d["hazard_density"] == [0] * 10
+    # all-eligible trace: every window lands in the lowest decile
+    b = TraceBuilder()
+    for i in range(512):
+        b.alu(dst=1 + i % 8, src1=1 + (i + 1) % 8, src2=1 + (i + 2) % 8)
+    d = span_diagnostics(b.build().op, window=256)
+    assert d["hazard_density"] == [2, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+    # all-ineligible trace: every window lands in the top decile
+    b = TraceBuilder()
+    for i in range(512):
+        b.load(dst=9, addr=0x2_0000 + 8 * i)
+    d = span_diagnostics(b.build().op, window=256)
+    assert d["hazard_density"] == [0, 0, 0, 0, 0, 0, 0, 0, 0, 2]
+    assert sum(d["hazard_density"]) == 2

@@ -51,6 +51,16 @@ def test_put_get_roundtrip(tmp_path):
     assert key in cache and len(cache) == 1
 
 
+def test_memo_hit_keeps_job_identity_metadata():
+    """The in-process payload memo is content-addressed on the built
+    trace; a seed-invariant kernel (EI's trace ignores the seed) must
+    still report each job's own seed, not the first caller's."""
+    payloads = [execute_job(kernel_job(seed=s)) for s in (30, 31, 32)]
+    assert [p["seed"] for p in payloads] == [30, 31, 32]
+    # simulation outputs are genuinely shared across the collision
+    assert len({p["cycles"] for p in payloads}) == 1
+
+
 def test_corrupt_entry_reads_as_miss(tmp_path):
     cache = ResultCache(tmp_path)
     job = kernel_job()

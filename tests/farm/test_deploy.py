@@ -1,0 +1,151 @@
+"""Deploy managers: slot accounting, determinism, backend bit-identity."""
+
+import json
+
+import pytest
+
+from repro.farm import Job, RunFarm
+from repro.farm.deploy import (
+    DeployManager,
+    ExternallyProvisionedDeployManager,
+    HostSpec,
+    LocalDeployManager,
+    parse_deploy_spec,
+    resolve_deploy,
+)
+from repro.soc import ROCKET1, ROCKET2
+
+
+# -------------------------------------------------------------- inventory
+
+def test_host_spec_validates():
+    with pytest.raises(ValueError):
+        HostSpec("")
+    with pytest.raises(ValueError):
+        HostSpec("a", 0)
+    with pytest.raises(ValueError):
+        DeployManager([])
+    with pytest.raises(ValueError):
+        DeployManager([HostSpec("a"), HostSpec("a")])
+
+
+def test_local_pool_slot_accounting():
+    dep = LocalDeployManager(2)
+    assert (dep.total_slots, dep.free_slots) == (2, 2)
+    assert dep.acquire() == "local"
+    assert dep.acquire() == "local"
+    assert dep.acquire() is None          # saturated
+    assert dep.busy_slots == 2
+    dep.release("local")
+    assert dep.acquire() == "local"
+    with pytest.raises(ValueError):
+        dep.release("nope")
+
+
+def test_release_of_idle_host_raises():
+    dep = LocalDeployManager(1)
+    with pytest.raises(ValueError):
+        dep.release("local")
+
+
+def test_external_fleet_spreads_by_occupancy_fraction():
+    dep = ExternallyProvisionedDeployManager([("a", 2), ("b", 4)])
+    # least-loaded fraction wins; declaration order breaks ties
+    got = [dep.acquire() for _ in range(6)]
+    assert got == ["a", "b", "b", "a", "b", "b"]
+    assert dep.acquire() is None
+    dep.release("b")
+    assert dep.acquire() == "b"
+
+
+def test_acquire_sequence_is_deterministic():
+    def seq():
+        dep = ExternallyProvisionedDeployManager([("x", 3), ("y", 1)])
+        out = [dep.acquire() for _ in range(4)]
+        dep.release("x")
+        out.append(dep.acquire())
+        return out
+
+    assert seq() == seq()
+
+
+def test_describe_inventory():
+    dep = ExternallyProvisionedDeployManager([("a", 2), ("b", 1)])
+    dep.acquire()
+    doc = dep.describe()
+    assert doc["kind"] == "externally-provisioned"
+    assert doc["total_slots"] == 3
+    assert doc["hosts"] == [{"name": "a", "slots": 2, "busy": 1},
+                            {"name": "b", "slots": 1, "busy": 0}]
+    json.dumps(doc)  # manifest-able
+
+
+# ------------------------------------------------------------ spec parsing
+
+@pytest.mark.parametrize("spec,kind,slots", [
+    ("local", "local", 1),
+    ("local:8", "local", 8),
+    ("hosts:a=2,b=4", "externally-provisioned", 6),
+    ("hosts:a, b", "externally-provisioned", 2),
+])
+def test_parse_deploy_spec(spec, kind, slots):
+    dep = parse_deploy_spec(spec)
+    assert dep.kind == kind
+    assert dep.total_slots == slots
+
+
+@pytest.mark.parametrize("spec", ["", "local:x", "hosts:", "hosts:a=z", "gcp"])
+def test_parse_deploy_spec_rejects_garbage(spec):
+    with pytest.raises(ValueError):
+        parse_deploy_spec(spec)
+
+
+def test_resolve_deploy_precedence(monkeypatch):
+    dep = LocalDeployManager(3)
+    assert resolve_deploy(dep) is dep
+    assert resolve_deploy("hosts:a=2").kind == "externally-provisioned"
+    monkeypatch.setenv("REPRO_DEPLOY", "hosts:h1=2,h2=2")
+    env_dep = resolve_deploy()
+    assert env_dep.kind == "externally-provisioned"
+    assert env_dep.total_slots == 4
+    monkeypatch.delenv("REPRO_DEPLOY")
+    assert resolve_deploy(workers=5).total_slots == 5
+
+
+# ----------------------------------------------------- backend bit-identity
+
+def _jobs():
+    return [Job.kernel(cfg, k, scale=0.05)
+            for cfg in (ROCKET1, ROCKET2) for k in ("EI", "Cca", "DP1f")]
+
+
+def canon(results):
+    return json.dumps([r.payload for r in results], sort_keys=True)
+
+
+def test_backends_bit_identical_and_host_is_provenance_only():
+    jobs = _jobs()
+    serial = RunFarm(workers=1).run(jobs)
+    local = RunFarm(deploy=LocalDeployManager(3)).run(jobs)
+    fleet_dep = ExternallyProvisionedDeployManager([("fpga-a", 2),
+                                                    ("fpga-b", 1)])
+    fleet = RunFarm(deploy=fleet_dep).run(jobs)
+
+    # payloads carry no trace of where they ran
+    assert canon(local) == canon(serial)
+    assert canon(fleet) == canon(serial)
+
+    # ...but results do, as provenance
+    assert all(r.host == "local" for r in local)
+    hosts = {r.host for r in fleet}
+    assert hosts <= {"fpga-a", "fpga-b"}
+    assert fleet_dep.busy_slots == 0       # every slot handed back
+
+
+def test_farm_manifest_records_deploy_inventory(tmp_path):
+    farm = RunFarm(deploy="hosts:a=2,b=1", manifest_path=tmp_path / "m.json")
+    farm.run(_jobs()[:2])
+    doc = json.loads((tmp_path / "m.json").read_text())
+    assert doc["deploy"]["kind"] == "externally-provisioned"
+    assert [h["name"] for h in doc["deploy"]["hosts"]] == ["a", "b"]
+    assert all(j["host"] in {"a", "b"} for j in doc["jobs"])

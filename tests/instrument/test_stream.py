@@ -104,3 +104,78 @@ def test_tail_stream_times_out_without_seal(tmp_path):
     got = list(tail_stream(path, follow=True, poll_s=0.01, timeout_s=0.1))
     assert time.monotonic() - t0 < 5.0
     assert [r["t"] for r in got] == ["meta"]
+
+
+def test_tail_follow_tolerates_torn_multibyte_tail(tmp_path):
+    """A writer killed mid-append can cut a multibyte UTF-8 sequence in
+    half; the tail must keep waiting for the line to complete instead of
+    raising UnicodeDecodeError (the pre-fix behaviour)."""
+    path = tmp_path / "torn.jsonl"
+    s = InstrumentStream(path)
+    s.write({"t": "meta"})
+    s.close()
+    full = json.dumps({"t": "marker", "id": 16, "note": "μ-op"},
+                      ensure_ascii=False).encode()
+    cut = full.index("μ".encode()) + 1  # split inside the 2-byte char
+    with open(path, "ab") as f:
+        f.write(full[:cut])  # the in-flight, torn append
+
+    got = []
+    exc = []
+
+    def reader():
+        try:
+            got.extend(tail_stream(path, follow=True, poll_s=0.005,
+                                   timeout_s=10.0))
+        except Exception as e:  # pragma: no cover - the regression
+            exc.append(e)
+
+    t = threading.Thread(target=reader)
+    t.start()
+    time.sleep(0.1)  # reader observes the torn tail while it is torn
+    with open(path, "ab") as f:
+        f.write(full[cut:] + b"\n")  # writer resumes, completes the line
+    s2 = InstrumentStream(path)
+    s2.write({"t": "marker", "id": 17, "value": 2})
+    s2.seal(reason="done")
+    t.join(timeout=15.0)
+    assert not t.is_alive()
+    assert not exc, f"tail raised on a torn in-flight record: {exc}"
+    assert [r["t"] for r in got] == ["meta", "marker", "marker", "seal"]
+    assert got[1]["note"] == "μ-op"
+
+
+def test_tail_follow_skips_fused_torn_record(tmp_path):
+    """When a killed writer's torn half-record gets fused with a resumed
+    writer's next append, the unparsable line is skipped and the stream
+    keeps flowing."""
+    path = tmp_path / "fused.jsonl"
+    s = InstrumentStream(path)
+    s.write({"t": "meta"})
+    s.close()
+    with open(path, "ab") as f:
+        f.write(b'{"t": "marker", "id": 16, "va')  # torn, never finished
+    # a fresh writer appends whole records after the tear: the torn
+    # bytes and the first new record fuse into one garbage line
+    s2 = InstrumentStream(path)
+    s2.write({"t": "marker", "id": 17, "value": 9})
+    s2.write({"t": "marker", "id": 18, "value": 10})
+    s2.seal(reason="done")
+    got = list(tail_stream(path, follow=True, poll_s=0.005, timeout_s=5.0))
+    assert got[0]["t"] == "meta"
+    assert got[-1]["t"] == "seal"
+    assert [r["value"] for r in got if r["t"] == "marker"] == [10]
+
+
+def test_read_stream_tolerates_torn_multibyte_tail(tmp_path):
+    path = tmp_path / "torn-mb.jsonl"
+    s = InstrumentStream(path)
+    s.write({"t": "meta"})
+    s.write({"t": "marker", "id": 16, "value": 1})
+    s.close()
+    full = json.dumps({"t": "marker", "note": "μ-op"},
+                      ensure_ascii=False).encode()
+    with open(path, "ab") as f:
+        f.write(full[:full.index("μ".encode()) + 1])
+    recs = read_stream(path)  # must not raise
+    assert [r["t"] for r in recs] == ["meta", "marker"]
