@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Chaos serve smoke check (CI): the self-healing surface, end to end.
+
+A real :class:`repro.serve.FarmServer` is driven through the failure
+modes the robustness docs promise, and held to the oracle contract:
+every submitted job terminates, and every payload is bit-identical to
+a fault-free serial ``execute_job`` run.
+
+1. **Host stall → quarantine → checkpoint migration.**  A seeded
+   ``host-stall`` fault hangs the first launch on host ``a`` of a
+   two-host fleet.  The watchdog timeout must trip the circuit breaker
+   (``quarantine_after=1``), the job running beside the stall must be
+   preempted and resumed on the healthy host (``migrate``/``recover``
+   events on its stream), and the stall victim must retry at no cost
+   to its budget.  Dropped client connections (``socket-drop``) ride
+   along and must be absorbed by the client's bounded retry.
+2. **Hard crash → ``--recover``.**  The server is killed SIGKILL-style
+   mid-batch (one job done, one running with checkpoints on disk, one
+   queued).  A ``recover=True`` restart must replay the journal,
+   restore the finished job without re-running it, resume the orphaned
+   job from its checkpoint, and run the queued one — all bit-identical.
+3. **Chaos oracle tier.**  ``repro.check.diff_chaos`` (the ``chaos``
+   tier of ``repro check``) must report zero divergences over
+   generated programs.
+
+Exit code 0 on success; any assertion failure is a regression.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.farm import Job, execute_job  # noqa: E402
+from repro.instrument.stream import read_stream  # noqa: E402
+from repro.reliability import FaultPlan  # noqa: E402
+from repro.serve import FarmServer  # noqa: E402
+from repro.soc import ROCKET1  # noqa: E402
+
+
+def serve_events(stream: str) -> list[str]:
+    return [r["event"] for r in read_stream(stream) if r.get("t") == "serve"]
+
+
+def check_stall_migration() -> None:
+    plan = FaultPlan.parse(
+        "host-stall host=a count=1; socket-drop request=2")
+    victim = Job.kernel(ROCKET1, "EI", scale=0.05, seed=1, timeout_s=0.3)
+    filler = Job.kernel(ROCKET1, "Cca", scale=0.05)
+    mover = Job.kernel(ROCKET1, "MM", scale=0.5, quantum=256)
+    ref = {j: execute_job(j) for j in (victim, filler, mover)}
+
+    spool = pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-serve-"))
+    with FarmServer.start_background(
+            spool, deploy="hosts:a=2,b=1", backoff_s=0.01,
+            fault_plan=plan, suspect_after=1, quarantine_after=1,
+            probe_interval=1000, checkpoint_every=2,
+            max_retries=1) as handle:
+        client = handle.client()
+        ids = {j: client.submit(j)["id"] for j in (victim, filler, mover)}
+        for job, jid in ids.items():
+            done = client.wait(jid, timeout_s=180)
+            assert done["state"] == "ok", done
+            full = client.status(jid, payload=True)
+            assert full["payload"] == ref[job], \
+                f"{jid} diverged from serial under chaos"
+        moved = client.status(ids[mover])
+        assert moved["host"] == "b" and moved["migrations"] == 1, moved
+        events = serve_events(moved["stream"])
+        assert "migrate" in events and "recover" in events, events
+        assert "quarantine" in serve_events(
+            client.status(ids[victim])["stream"])
+        hosts = {h["name"]: h for h in client.status()["deploy"]["hosts"]}
+        assert hosts["a"]["state"] == "quarantined", hosts
+        assert hosts["b"]["state"] == "healthy", hosts
+    print("chaos-serve-smoke: stall -> quarantine -> migration ok "
+          f"(host a quarantined, {ids[mover]} migrated and matched serial)")
+
+
+def check_crash_recover() -> None:
+    fast = Job.kernel(ROCKET1, "EI", scale=0.05, seed=2)
+    slow = Job.kernel(ROCKET1, "MM", scale=0.5, quantum=256, seed=2)
+    queued = Job.kernel(ROCKET1, "DP1f", scale=0.05, seed=2)
+    ref = {j: execute_job(j) for j in (fast, slow, queued)}
+
+    spool = pathlib.Path(tempfile.mkdtemp(prefix="repro-chaos-serve-"))
+    handle = FarmServer.start_background(spool, deploy="local:1",
+                                         backoff_s=0.01, checkpoint_every=2)
+    client = handle.client()
+    fast_id = client.submit(fast)["id"]
+    assert client.wait(fast_id, timeout_s=180)["state"] == "ok"
+    slow_id = client.submit(slow)["id"]
+    client.wait(slow_id, timeout_s=30, until=frozenset({"running"}))
+    time.sleep(0.3)                    # let checkpoints land
+    queued_id = client.submit(queued)["id"]
+    handle.crash()                     # SIGKILL-style: nothing sealed
+
+    handle = FarmServer.start_background(spool, deploy="local:1",
+                                         backoff_s=0.01, checkpoint_every=2,
+                                         recover=True)
+    client = handle.client()
+    try:
+        restored = client.status(fast_id, payload=True)
+        assert restored["state"] == "ok" and restored["attempts"] == 1, \
+            "completed job was re-run across recovery"
+        assert restored["payload"] == ref[fast]
+        for job, jid in ((slow, slow_id), (queued, queued_id)):
+            done = client.wait(jid, timeout_s=180)
+            assert done["state"] == "ok", done
+            assert client.status(jid, payload=True)["payload"] == ref[job], \
+                f"{jid} diverged from serial across crash recovery"
+        events = serve_events(client.status(slow_id)["stream"])
+        assert "orphaned" in events and "recovered" in events, events
+    finally:
+        handle.stop()
+    print("chaos-serve-smoke: crash -> recover ok (restored 1, "
+          "resumed orphan + queued job matched serial)")
+
+
+def check_chaos_tier() -> None:
+    from repro.check import diff_chaos, generate_program
+
+    progs = [generate_program(seed) for seed in range(3)]
+    diffs = diff_chaos(progs)
+    assert diffs == [], f"chaos tier divergences: {diffs}"
+    print(f"chaos-serve-smoke: diff_chaos over {len(progs)} program(s) ok")
+
+
+def main() -> int:
+    check_stall_migration()
+    check_crash_recover()
+    check_chaos_tier()
+    print("chaos-serve-smoke: all self-healing contracts held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

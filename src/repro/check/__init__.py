@@ -14,6 +14,7 @@ See ``docs/checking.md`` for the workflow, and ``repro check --seeds N``
 for the CLI entry point.
 """
 
+from .chaos import diff_chaos
 from .golden import CANONICAL_NAN_BITS, GoldenMachine
 from .oracle import (Divergence, diff_accel, diff_checkpoint, diff_farm,
                      diff_golden, lint_invariants, run_program)
@@ -32,6 +33,7 @@ __all__ = [
     "Divergence",
     "GoldenMachine",
     "diff_accel",
+    "diff_chaos",
     "diff_checkpoint",
     "diff_farm",
     "diff_golden",

@@ -14,6 +14,10 @@ configuration and every tier still gets exercised:
 * ``instrument``: same stride, offset by half, so the instrumented
   bit-identity proof exercises different seeds than ``checkpoint``.
 * ``farm``: once per invocation, over a sample of the generated programs.
+* ``chaos``: once per invocation, over the same sample — the serve
+  layer under seeded fault schedules (worker kill, host stall, crash +
+  ``recover=True`` restart, on-disk corruption), held to termination
+  and bit-identity against a fault-free serial run.
 
 On a divergence the failing program is shrunk (ddmin over source lines)
 and written to the corpus, so the finding is reproducible before anyone
@@ -26,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from .chaos import diff_chaos
 from .oracle import (Divergence, diff_accel, diff_checkpoint, diff_farm,
                      diff_golden, diff_instrument, lint_invariants,
                      run_program)
@@ -35,7 +40,8 @@ from .shrink import (category_predicate, diff_category, shrink_program,
 
 __all__ = ["CheckReport", "run_check", "ALL_TIERS"]
 
-ALL_TIERS = ("golden", "lint", "accel", "checkpoint", "instrument", "farm")
+ALL_TIERS = ("golden", "lint", "accel", "checkpoint", "instrument", "farm",
+             "chaos")
 
 
 @dataclass
@@ -165,7 +171,8 @@ def run_check(seeds: int = 25, start_seed: int = 0,
             report.divergences += _safe(
                 "instrument", seed, lambda: diff_instrument(trace, seed))
 
-        if "farm" in tiers and len(farm_progs) < farm_sample:
+        if (("farm" in tiers or "chaos" in tiers)
+                and len(farm_progs) < farm_sample):
             farm_progs.append(prog)
 
     if "farm" in tiers and farm_progs:
@@ -173,6 +180,13 @@ def run_check(seeds: int = 25, start_seed: int = 0,
         say(f"farm tier: {len(farm_progs)} program(s), 2 workers + replay")
         report.divergences += _safe("farm", farm_progs[0].seed,
                                     lambda: diff_farm(farm_progs))
+
+    if "chaos" in tiers and farm_progs:
+        tier_count["chaos"] = len(farm_progs)
+        say(f"chaos tier: {len(farm_progs)} program(s), crash/recover "
+            f"+ host stall")
+        report.divergences += _safe("chaos", farm_progs[0].seed,
+                                    lambda: diff_chaos(farm_progs))
 
     report.tier_programs = {t: c for t, c in tier_count.items() if c}
     return report

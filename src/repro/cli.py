@@ -52,13 +52,21 @@ Commands
     integer priorities, per-tenant quotas and fair scheduling in front
     of a pluggable deploy backend (``local:N`` pool or an
     externally-provisioned ``hosts:a=2,b=4`` fleet), with a shared
-    cross-run result store (see ``docs/serving.md``).
+    cross-run result store (see ``docs/serving.md``).  Every lifecycle
+    transition is journaled; ``--recover`` replays the journal after a
+    crash (restore finished jobs, re-enqueue the rest).  Host-health
+    thresholds (``--suspect-after``/``--quarantine-after``/
+    ``--probe-interval``) tune the circuit breaker that quarantines
+    flaky hosts and migrates their jobs; ``--fault-plan`` injects a
+    seeded chaos schedule (``docs/reliability.md``).
 ``submit KERNEL --endpoint SOCK [--tenant T] [--priority P] [--wait|--tail]``
     Queue one kernel job on a running server; ``--wait`` blocks for the
     result, ``--tail`` follows the job's live progress stream.
-``status [ID] --endpoint SOCK [--json]``
+``status [ID] --endpoint SOCK [--json] [--hosts]``
     One job's state, or (without ID) the whole-server view: tenant
-    queues, deploy slots, and store hit/miss/eviction counters.
+    queues, deploy slots, and store hit/miss/eviction counters;
+    ``--hosts`` adds per-host health (breaker state, failure and
+    quarantine counters).
 ``cancel ID --endpoint SOCK [--preempt]``
     Cancel a queued/running job; ``--preempt`` checkpoint-stops a
     running job so ``resume`` can continue it later.
@@ -68,7 +76,8 @@ Commands
 ``check [--seeds N] [--tiers T,U] [--accel-all] [--no-shrink]``
     Property-based differential checking: fuzz generated RISC-V programs
     through the interpreter-vs-golden, accel on/off, checkpoint/restore,
-    instrumented-vs-bare, and farm-vs-serial oracles plus the telemetry
+    instrumented-vs-bare, farm-vs-serial, and chaos (serve layer under
+    seeded faults, crash + recovery) oracles plus the telemetry
     invariant lint; shrink any divergence into ``tests/check/corpus/``
     (see ``docs/checking.md``).
 """
@@ -322,6 +331,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="LRU-evict the store beyond this many entries")
     sv.add_argument("--store-max-bytes", type=int, default=None,
                     help="LRU-evict the store beyond this many bytes")
+    sv.add_argument("--recover", action="store_true",
+                    help="replay <spool>/journal.jsonl before serving: "
+                         "restore terminal jobs, re-enqueue the rest "
+                         "(resuming from checkpoints where they exist)")
+    sv.add_argument("--fault-plan", default=None, metavar="DSL",
+                    help="chaos fault schedule (repro.reliability DSL), "
+                         "e.g. 'kill job=0; host-stall host=a count=1'")
+    sv.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for the fault plan's randomised damage")
+    sv.add_argument("--suspect-after", type=int, default=None,
+                    help="consecutive host-correlated failures before a "
+                         "host turns suspect (placed only as last resort)")
+    sv.add_argument("--quarantine-after", type=int, default=None,
+                    help="consecutive host-correlated failures before a "
+                         "host is quarantined and its jobs migrated")
+    sv.add_argument("--probe-interval", type=int, default=None,
+                    help="acquire ticks before a quarantined host gets a "
+                         "half-open probe job")
 
     sb = sub.add_parser("submit", help="queue a job on a running server")
     sb.add_argument("kernel", help="MicroBench kernel name")
@@ -352,6 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="job id (omit for the whole-server view)")
     ss.add_argument("--endpoint", default=None,
                     help="server socket (default: $REPRO_SERVE)")
+    ss.add_argument("--hosts", action="store_true",
+                    help="show per-host health in the whole-server view "
+                         "(breaker state, failure/quarantine counters)")
     ss.add_argument("--json", action="store_true",
                     help="print the raw status document")
 
@@ -799,6 +829,12 @@ def main(argv: list[str] | None = None) -> int:
                       file=sys.stderr)
                 return 2
             quotas[tenant] = int(n)
+        fault_plan = None
+        if args.fault_plan:
+            from .reliability import FaultPlan
+
+            fault_plan = FaultPlan.parse(args.fault_plan,
+                                         seed=args.fault_seed)
         server = FarmServer(
             args.spool, deploy=args.deploy,
             store=(False if args.no_store else args.store_dir),
@@ -807,7 +843,15 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every,
             socket_path=args.socket,
             store_max_entries=args.store_max_entries,
-            store_max_bytes=args.store_max_bytes)
+            store_max_bytes=args.store_max_bytes,
+            recover=args.recover, fault_plan=fault_plan,
+            suspect_after=args.suspect_after,
+            quarantine_after=args.quarantine_after,
+            probe_interval=args.probe_interval)
+        if args.recover:
+            requeued = sum(1 for r in server.jobs.values() if r.recovered)
+            print(f"journal replayed: {len(server.jobs)} job(s), "
+                  f"{requeued} re-enqueued", file=sys.stderr)
 
         def announce() -> None:
             dep = server.deploy.describe()
@@ -894,6 +938,14 @@ def main(argv: list[str] | None = None) -> int:
                 busy = sum(h["busy"] for h in dep["hosts"])
                 print(f"deploy: {dep['kind']}, {busy}/{dep['total_slots']} "
                       f"slot(s) busy")
+                if args.hosts:
+                    for h in dep["hosts"]:
+                        print(f"  host {h['name']}: {h['busy']}/{h['slots']} "
+                              f"busy, {h['state']}, "
+                              f"{h['consecutive_failures']} consecutive / "
+                              f"{h['failures']} total failure(s), "
+                              f"{h['successes']} ok, "
+                              f"{h['quarantines']} quarantine(s)")
                 for name, t in doc["scheduler"]["tenants"].items():
                     print(f"tenant {name}: {t['running']} running, "
                           f"{t['queued']} queued, quota {t['quota']}")

@@ -29,12 +29,14 @@ from .cache import CACHE_SCHEMA, ResultCache, cache_key
 from .deploy import (
     DeployManager,
     ExternallyProvisionedDeployManager,
+    HostHealth,
     HostSpec,
     LocalDeployManager,
     parse_deploy_spec,
     resolve_deploy,
 )
 from .job import JOB_KINDS, Job, JobResult, execute_job
+from .retry import RetryPolicy
 from .runfarm import (
     FARM_SCHEMA,
     FarmEvent,
@@ -53,12 +55,14 @@ __all__ = [
     "FARM_SCHEMA",
     "FarmEvent",
     "FarmStats",
+    "HostHealth",
     "HostSpec",
     "JOB_KINDS",
     "Job",
     "JobResult",
     "LocalDeployManager",
     "ResultCache",
+    "RetryPolicy",
     "RunFarm",
     "STORE_SCHEMA",
     "SharedResultStore",

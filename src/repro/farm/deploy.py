@@ -30,22 +30,50 @@ Spec strings (``--deploy`` / ``$REPRO_DEPLOY``)::
     local            one slot (serial)
     local:8          eight local slots
     hosts:a=2,b=4    externally provisioned: host a (2 slots), b (4)
+
+Host health
+-----------
+
+Every host carries a :class:`HostHealth` record driven by the scheduler
+reporting outcomes back (:meth:`DeployManager.report_success` /
+:meth:`DeployManager.report_failure`).  Only *host-correlated* failures
+(worker crashes, wall-clock timeouts — not a job raising in its own
+workload) count against a host.  A consecutive-failure circuit breaker
+moves a host ``healthy -> suspect -> quarantined``:
+
+* **healthy** — preferred for placement;
+* **suspect** — still schedulable, but only when no healthy host has a
+  free slot;
+* **quarantined** — excluded from :meth:`DeployManager.acquire` except
+  for deterministic *half-open probe* jobs: once ``probe_interval``
+  acquire ticks have passed, a single in-flight job may land on the
+  host; success restores it to healthy, failure re-quarantines it with
+  an exponentially growing probe delay.  When every host is quarantined
+  the breaker fails open (a probe is allowed early) so the farm cannot
+  deadlock itself.
+
+Everything is counted in acquire ticks, not wall-clock, so a replay of
+the same acquire/report sequence makes identical placement decisions.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 __all__ = [
     "DeployManager",
     "ExternallyProvisionedDeployManager",
+    "HostHealth",
     "HostSpec",
     "LocalDeployManager",
     "parse_deploy_spec",
     "resolve_deploy",
 ]
+
+#: probe-delay growth is capped at probe_interval * 2**_MAX_PROBE_BACKOFF
+_MAX_PROBE_BACKOFF = 4
 
 
 @dataclass(frozen=True)
@@ -63,6 +91,27 @@ class HostSpec:
                              f"got {self.slots}")
 
 
+@dataclass
+class HostHealth:
+    """Circuit-breaker state for one host (see module docstring)."""
+
+    state: str = "healthy"          #: healthy | suspect | quarantined
+    consecutive_failures: int = 0   #: host-correlated failures in a row
+    failures: int = 0               #: lifetime host-correlated failures
+    successes: int = 0
+    quarantines: int = 0            #: times the breaker fully opened
+    probe_due: int = 0              #: acquire tick when a probe unlocks
+    probe_backoff: int = field(default=1, repr=False)
+    probing: bool = field(default=False, repr=False)
+
+    def describe(self) -> dict[str, Any]:
+        return {"state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "failures": self.failures,
+                "successes": self.successes,
+                "quarantines": self.quarantines}
+
+
 class DeployManager:
     """Host-slot inventory shared by every run-farm backend.
 
@@ -70,18 +119,41 @@ class DeployManager:
     name of a host with a free slot (or ``None`` when the farm is
     saturated) and marks it busy; :meth:`release` frees it.  Acquisition
     order is deterministic for a fixed acquire/release sequence.
+
+    Schedulers that want the circuit breaker additionally call
+    :meth:`report_success` / :meth:`report_failure` after each reaped
+    worker; a manager that never receives reports behaves exactly like
+    the pre-health inventory (every host stays healthy forever).
     """
 
     kind = "base"
 
-    def __init__(self, hosts: Sequence[HostSpec]) -> None:
+    def __init__(self, hosts: Sequence[HostSpec], *,
+                 suspect_after: int = 2,
+                 quarantine_after: int = 3,
+                 probe_interval: int = 8) -> None:
         if not hosts:
             raise ValueError("a deploy manager needs at least one host")
         names = [h.name for h in hosts]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate host names in {names}")
+        if suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {suspect_after}")
+        if quarantine_after < suspect_after:
+            raise ValueError(
+                f"quarantine_after ({quarantine_after}) must be >= "
+                f"suspect_after ({suspect_after})")
+        if probe_interval < 1:
+            raise ValueError(f"probe_interval must be >= 1, "
+                             f"got {probe_interval}")
         self.hosts = tuple(hosts)
+        self.suspect_after = int(suspect_after)
+        self.quarantine_after = int(quarantine_after)
+        self.probe_interval = int(probe_interval)
         self._busy: dict[str, int] = {h.name: 0 for h in hosts}
+        self._health: dict[str, HostHealth] = {h.name: HostHealth()
+                                               for h in hosts}
+        self._tick = 0
 
     @property
     def total_slots(self) -> int:
@@ -98,28 +170,111 @@ class DeployManager:
     def acquire(self) -> str | None:
         """Claim one slot; returns its host name, or None when full.
 
-        Picks the host with the lowest occupancy *fraction* (spreading
+        Healthy hosts are preferred over suspect ones; within a class
+        the host with the lowest occupancy *fraction* wins (spreading
         load the way FireSim packs FPGAs across hosts), declaration
-        order breaking ties, so assignment is reproducible.
+        order breaking ties, so assignment is reproducible.  Quarantined
+        hosts are skipped entirely except for half-open probes (see
+        module docstring).
         """
+        self._tick += 1
         best: HostSpec | None = None
-        best_frac = 2.0
-        for h in self.hosts:
+        best_key: tuple[bool, float, int] | None = None
+        for i, h in enumerate(self.hosts):
             busy = self._busy[h.name]
             if busy >= h.slots:
                 continue
-            frac = busy / h.slots
-            if frac < best_frac:
-                best, best_frac = h, frac
-        if best is None:
-            return None
-        self._busy[best.name] += 1
-        return best.name
+            hh = self._health[h.name]
+            if hh.state == "quarantined":
+                continue
+            key = (hh.state == "suspect", busy / h.slots, i)
+            if best_key is None or key < best_key:
+                best, best_key = h, key
+        if best is not None:
+            self._busy[best.name] += 1
+            return best.name
+        probe = self._pick_probe(require_due=True)
+        if probe is None and all(hh.state == "quarantined"
+                                 for hh in self._health.values()):
+            # fail open: every host is quarantined, so waiting for the
+            # probe window would deadlock the farm — probe early
+            probe = self._pick_probe(require_due=False)
+        if probe is not None:
+            self._health[probe].probing = True
+            self._busy[probe] += 1
+            return probe
+        return None
+
+    def _pick_probe(self, *, require_due: bool) -> str | None:
+        """The quarantined host (if any) due for a half-open probe:
+        one in-flight probe per host, earliest ``probe_due`` first,
+        declaration order breaking ties."""
+        best: str | None = None
+        best_key: tuple[int, int] | None = None
+        for i, h in enumerate(self.hosts):
+            hh = self._health[h.name]
+            if (hh.state != "quarantined" or hh.probing
+                    or self._busy[h.name] >= h.slots):
+                continue
+            if require_due and self._tick < hh.probe_due:
+                continue
+            key = (hh.probe_due, i)
+            if best_key is None or key < best_key:
+                best, best_key = h.name, key
+        return best
 
     def release(self, host: str) -> None:
         if self._busy.get(host, 0) <= 0:
             raise ValueError(f"release of idle/unknown host {host!r}")
         self._busy[host] -= 1
+        self._health[host].probing = False
+
+    # -- health reporting ----------------------------------------------------
+
+    def health(self, host: str) -> HostHealth:
+        try:
+            return self._health[host]
+        except KeyError:
+            raise ValueError(f"unknown host {host!r}") from None
+
+    def report_success(self, host: str) -> None:
+        """A worker on *host* finished cleanly: close the breaker."""
+        hh = self.health(host)
+        hh.successes += 1
+        hh.consecutive_failures = 0
+        hh.probe_backoff = 1
+        hh.state = "healthy"
+
+    def report_failure(self, host: str, *,
+                       job_intrinsic: bool = False) -> None:
+        """A worker on *host* crashed/timed out.
+
+        ``job_intrinsic=True`` means the failure was attributed to the
+        job itself (its workload raised, or it failed identically on
+        other hosts) and must not count against the host.
+        """
+        hh = self.health(host)
+        if job_intrinsic:
+            return
+        hh.failures += 1
+        hh.consecutive_failures += 1
+        if hh.state == "quarantined":
+            # a failed half-open probe: back off exponentially
+            hh.quarantines += 1
+            hh.probe_backoff = min(hh.probe_backoff * 2,
+                                   2 ** _MAX_PROBE_BACKOFF)
+            hh.probe_due = self._tick + self.probe_interval * hh.probe_backoff
+        elif hh.consecutive_failures >= self.quarantine_after:
+            hh.state = "quarantined"
+            hh.quarantines += 1
+            hh.probe_backoff = 1
+            hh.probe_due = self._tick + self.probe_interval
+        elif hh.consecutive_failures >= self.suspect_after:
+            hh.state = "suspect"
+
+    def quarantined_hosts(self) -> list[str]:
+        return [h.name for h in self.hosts
+                if self._health[h.name].state == "quarantined"]
 
     def describe(self) -> dict[str, Any]:
         """JSON-able inventory summary (manifests, `repro status`)."""
@@ -127,7 +282,9 @@ class DeployManager:
             "kind": self.kind,
             "total_slots": self.total_slots,
             "hosts": [{"name": h.name, "slots": h.slots,
-                       "busy": self._busy[h.name]} for h in self.hosts],
+                       "busy": self._busy[h.name],
+                       **self._health[h.name].describe()}
+                      for h in self.hosts],
         }
 
     def __repr__(self) -> str:
@@ -140,8 +297,12 @@ class LocalDeployManager(DeployManager):
 
     kind = "local"
 
-    def __init__(self, workers: int = 1) -> None:
-        super().__init__([HostSpec("local", max(1, int(workers)))])
+    def __init__(self, workers: int = 1, **health_kw: int) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"local deploy needs >= 1 worker, "
+                             f"got {workers}")
+        super().__init__([HostSpec("local", workers)], **health_kw)
 
 
 class ExternallyProvisionedDeployManager(DeployManager):
@@ -157,7 +318,7 @@ class ExternallyProvisionedDeployManager(DeployManager):
     kind = "externally-provisioned"
 
     def __init__(self, hosts: Sequence[HostSpec | tuple[str, int] | str],
-                 ) -> None:
+                 **health_kw: int) -> None:
         specs: list[HostSpec] = []
         for h in hosts:
             if isinstance(h, HostSpec):
@@ -167,7 +328,7 @@ class ExternallyProvisionedDeployManager(DeployManager):
             else:
                 name, slots = h
                 specs.append(HostSpec(str(name), int(slots)))
-        super().__init__(specs)
+        super().__init__(specs, **health_kw)
 
 
 def parse_deploy_spec(spec: str) -> DeployManager:
@@ -179,10 +340,13 @@ def parse_deploy_spec(spec: str) -> DeployManager:
         return LocalDeployManager(1)
     if spec.startswith("local:"):
         try:
-            return LocalDeployManager(int(spec.split(":", 1)[1]))
+            workers = int(spec.split(":", 1)[1])
         except ValueError:
             raise ValueError(f"bad local deploy spec {spec!r} "
                              "(want local:<workers>)") from None
+        # a parsed-but-bad count (local:0, local:-2) propagates the
+        # LocalDeployManager ValueError, which names the real problem
+        return LocalDeployManager(workers)
     if spec.startswith("hosts:"):
         body = spec.split(":", 1)[1]
         hosts: list[HostSpec] = []

@@ -506,7 +506,7 @@ def execute_job_meta(job: Job, attempt: int = 1,
     """
     ctx = ctx if ctx is not None else ExecContext()
     fault = ctx.fault
-    if fault is not None and (fault.kind in ("hang", "error")
+    if fault is not None and (fault.kind in ("hang", "error", "host-stall")
                               or (fault.kind == "kill"
                                   and fault.param("after") is None)):
         from ..reliability.faults import apply_worker_fault

@@ -43,6 +43,7 @@ from ..telemetry import Snapshot
 from .cache import ResultCache, cache_key
 from .deploy import DeployManager, resolve_deploy
 from .job import ExecContext, Job, JobResult, execute_job_meta
+from .retry import RetryPolicy
 
 __all__ = [
     "FARM_SCHEMA",
@@ -180,8 +181,13 @@ class RunFarm:
         a job that exhausts them is reported ``failed`` without
         aborting the rest of the sweep.
     backoff_s:
-        Base relaunch delay; attempt *n* waits ``backoff_s * n``
-        (capped at 2 s) before going back on a worker.
+        Base relaunch delay; attempt *n* waits
+        ``backoff_s * 2**(n-1)`` (capped at 2 s) before going back on
+        a worker.  Shorthand for ``retry_policy=RetryPolicy(base_s=
+        backoff_s)``; an explicit *retry_policy* wins.
+    retry_policy:
+        Full :class:`~repro.farm.retry.RetryPolicy` (base, growth
+        factor, cap) shared with the serve layer's re-queue path.
     on_event:
         Optional ``Callable[[FarmEvent], None]`` for live progress.
     fault_plan:
@@ -224,13 +230,16 @@ class RunFarm:
                  manifest_path: str | os.PathLike | None = None,
                  instrument=None,
                  instrument_dir: str | os.PathLike | None = None,
-                 deploy: DeployManager | str | None = None) -> None:
+                 deploy: DeployManager | str | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.deploy = resolve_deploy(deploy, workers)
         self.workers = self.deploy.total_slots
         self.cache = resolve_cache(cache)
         self.timeout_s = timeout_s
         self.max_retries = max(0, int(max_retries))
         self.backoff_s = max(0.0, float(backoff_s))
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy(base_s=self.backoff_s))
         self.on_event = on_event
         self.fault_plan = fault_plan
         self.checkpoint_dir = checkpoint_dir
@@ -446,13 +455,17 @@ class RunFarm:
                 except Exception as exc:
                     error = f"{type(exc).__name__}: {exc}"
                     self.stats.errors += 1
+                    # serial exceptions surface from the workload itself
+                    self.deploy.report_failure(host, job_intrinsic=True)
                     if attempt <= self.max_retries:
                         self.stats.retries += 1
                         self._emit("retry", index, job, attempt=attempt,
                                    error=error)
-                        if self.backoff_s:
-                            time.sleep(min(self.backoff_s * attempt, 2.0))
+                        delay = self.retry_policy.delay(attempt)
+                        if delay:
+                            time.sleep(delay)
                 else:
+                    self.deploy.report_success(host)
                     self._complete(results, index, job, key, payload,
                                    attempts=attempt,
                                    elapsed_s=time.monotonic() - t0,
@@ -513,7 +526,7 @@ class RunFarm:
                 self.stats.retries += 1
                 self._emit("retry", index, jobs[index], attempt=r.attempt,
                            error=error)
-                delay = min(self.backoff_s * r.attempt, 2.0)
+                delay = self.retry_policy.delay(r.attempt)
                 waiting.append((time.monotonic() + delay, index, r.key,
                                 r.attempt + 1))
             else:
@@ -547,18 +560,26 @@ class RunFarm:
                             status, data = "error", "worker pipe closed early"
                         reap(index)
                         if status == "ok":
+                            if r.host is not None:
+                                self.deploy.report_success(r.host)
                             self._complete(results, index, jobs[index], r.key,
                                            data, attempts=r.attempt,
                                            elapsed_s=now - r.started,
                                            meta=meta, host=r.host)
                         else:
                             self.stats.errors += 1
+                            # the workload itself raised: not the host's fault
+                            if r.host is not None:
+                                self.deploy.report_failure(
+                                    r.host, job_intrinsic=True)
                             retry_or_fail(index, r, str(data))
                         progressed = True
                     elif not r.proc.is_alive():
                         code = r.proc.exitcode
                         reap(index)
                         self.stats.crashes += 1
+                        if r.host is not None:
+                            self.deploy.report_failure(r.host)
                         retry_or_fail(index, r,
                                       f"worker crashed (exit code {code})")
                         progressed = True
@@ -567,6 +588,8 @@ class RunFarm:
                         if limit is not None and now - r.started > limit:
                             reap(index)
                             self.stats.timeouts += 1
+                            if r.host is not None:
+                                self.deploy.report_failure(r.host)
                             retry_or_fail(index, r,
                                           f"timed out after {limit:g}s")
                             progressed = True
@@ -591,6 +614,7 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
              instrument=None,
              instrument_dir: str | os.PathLike | None = None,
              deploy: DeployManager | str | None = None,
+             retry_policy: RetryPolicy | None = None,
              strict: bool = False) -> list[JobResult]:
     """One-call convenience: build a :class:`RunFarm`, run *jobs*.
 
@@ -605,7 +629,7 @@ def run_jobs(jobs: Iterable[Job], *, workers: int | None = None,
                    checkpoint_every=checkpoint_every,
                    manifest_path=manifest_path,
                    instrument=instrument, instrument_dir=instrument_dir,
-                   deploy=deploy)
+                   deploy=deploy, retry_policy=retry_policy)
     results = farm.run(jobs)
     if strict:
         failed = [r for r in results if not r.ok]

@@ -12,6 +12,8 @@ from a tiny DSL (one fault per line or ``;``-separated)::
     corrupt-line tile=0 cache=l1d   # duplicate a cache tag -> audit trips
     corrupt-cache entry=0           # garbage a farm cache file
     truncate-cache entry=1          # cut a farm cache file in half
+    host-stall host=a count=2       # first 2 launches on host a hang
+    socket-drop request=3           # server drops client connection 3
 
 Farm faults (``kill``/``hang``/``error``) key on the job *index* in the
 submitted batch and an optional ``attempt`` (default 1), so retries run
@@ -19,6 +21,14 @@ clean and the batch still converges.  ``corrupt-cache``/``truncate-cache``
 key on the batch index of the job whose cache entry to damage.  The plan
 carries a seed; anything random (which bytes to garble, which set to
 corrupt) derives from it, so a chaos run is exactly replayable.
+
+Serve-layer faults extend the same plan up the stack (PR 8's chaos
+harness): ``host-stall`` keys on a deploy-manager host name and hangs
+the first ``count`` worker launches placed on it (exercising timeout →
+quarantine → checkpoint migration), and ``socket-drop`` keys on the
+server's 1-based request ordinal, closing that client connection
+*before* the request is dispatched — so a client retry is always safe
+and never double-submits.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ FAULT_KINDS = frozenset({
     "token-drop", "token-dup",          # lockstep token faults
     "corrupt-line",                     # in-simulation cache corruption
     "corrupt-cache", "truncate-cache",  # on-disk result-cache damage
+    "host-stall", "socket-drop",        # serve-layer chaos faults
 })
 
 _WORKER_KINDS = frozenset({"kill", "hang", "error"})
@@ -169,6 +180,24 @@ class FaultPlan:
     def cache_faults(self) -> list[Fault]:
         return [f for f in self.faults if f.kind in _CACHE_KINDS]
 
+    def host_stall(self, host: str, launch: int) -> Fault | None:
+        """The host-stall fault covering 0-based *launch* on *host*.
+
+        ``host-stall host=a count=2`` stalls launches 0 and 1 placed on
+        host ``a``; the stalled worker sleeps ``sleep`` seconds (default
+        3600 — in practice "until the watchdog kills it")."""
+        for f in self.faults:
+            if (f.kind == "host-stall" and str(f.param("host")) == host
+                    and launch < int(f.param("count", 1))):
+                return f
+        return None
+
+    def socket_drop(self, request: int) -> bool:
+        """True when the server should drop *request* (1-based ordinal)
+        before dispatching it."""
+        return any(f.kind == "socket-drop" and f.param("request") == request
+                   for f in self.faults)
+
 
 # -- appliers -----------------------------------------------------------------
 
@@ -179,7 +208,7 @@ def apply_worker_fault(fault: Fault, *, in_process: bool) -> None:
         if in_process:
             raise FaultInjected(f"injected worker kill ({fault.describe()})")
         os._exit(13)
-    elif fault.kind == "hang":
+    elif fault.kind in ("hang", "host-stall"):
         time.sleep(float(fault.param("sleep", 3600.0)))
     elif fault.kind == "error":
         raise FaultInjected(f"injected worker error ({fault.describe()})")

@@ -21,6 +21,7 @@ See ``docs/serving.md`` for a worked tour.
 """
 
 from .client import ServeClient
+from .journal import JOURNAL_SCHEMA, ServeJournal, replay_journal
 from .protocol import PROTOCOL_VERSION, ServeError, job_from_wire, job_to_wire
 from .queue import TERMINAL_STATES, FairScheduler, JobRecord
 from .server import FarmServer, ServerHandle
@@ -28,12 +29,15 @@ from .server import FarmServer, ServerHandle
 __all__ = [
     "FairScheduler",
     "FarmServer",
+    "JOURNAL_SCHEMA",
     "JobRecord",
     "PROTOCOL_VERSION",
     "ServeClient",
     "ServeError",
+    "ServeJournal",
     "ServerHandle",
     "TERMINAL_STATES",
     "job_from_wire",
     "job_to_wire",
+    "replay_journal",
 ]

@@ -30,13 +30,51 @@ class ServeClient:
     ``<spool>/serve.sock``).
     """
 
-    def __init__(self, endpoint: str, timeout_s: float = 30.0) -> None:
+    def __init__(self, endpoint: str, timeout_s: float = 30.0,
+                 connect_retries: int = 5,
+                 retry_backoff_s: float = 0.05) -> None:
         self.endpoint = str(endpoint)
         self.timeout_s = float(timeout_s)
+        self.connect_retries = max(0, int(connect_retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
 
     # -- transport -----------------------------------------------------------
 
     def _request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        """One request/response exchange, with a short bounded retry.
+
+        Two transient cases are retried with exponential backoff before
+        giving up: the socket not accepting/existing yet (``repro
+        submit`` racing ``repro serve`` startup — ECONNREFUSED/ENOENT)
+        and a connection the server closed without a response — seen as
+        an empty read or ECONNRESET/EPIPE (it never read the request,
+        so re-sending cannot double-submit).
+        """
+        last_error = "request failed"
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(min(self.retry_backoff_s * 2 ** (attempt - 1),
+                               2.0))
+            try:
+                raw = self._exchange(doc)
+            except (ConnectionRefusedError, ConnectionResetError,
+                    BrokenPipeError, FileNotFoundError) as exc:
+                last_error = f"cannot reach server at {self.endpoint}: {exc}"
+                continue
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot reach server at {self.endpoint}: {exc}"
+                ) from None
+            if not raw:
+                last_error = f"empty response from {self.endpoint}"
+                continue
+            resp = json.loads(raw.decode("utf-8"))
+            if not resp.get("ok"):
+                raise ServeError(resp.get("error", "request failed"))
+            return resp
+        raise ServeError(last_error)
+
+    def _exchange(self, doc: dict[str, Any]) -> bytes:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(self.timeout_s)
         try:
@@ -50,18 +88,9 @@ class ServeClient:
                 chunks.append(chunk)
                 if chunk.endswith(b"\n"):
                     break
-        except OSError as exc:
-            raise ServeError(
-                f"cannot reach server at {self.endpoint}: {exc}") from None
         finally:
             sock.close()
-        raw = b"".join(chunks)
-        if not raw:
-            raise ServeError(f"empty response from {self.endpoint}")
-        resp = json.loads(raw.decode("utf-8"))
-        if not resp.get("ok"):
-            raise ServeError(resp.get("error", "request failed"))
-        return resp
+        return b"".join(chunks)
 
     # -- ops -----------------------------------------------------------------
 

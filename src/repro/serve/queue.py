@@ -52,6 +52,14 @@ class JobRecord:
     from_cache: bool = False
     preempt_requested: bool = False
     cancel_requested: bool = False
+    migrate_requested: bool = False  #: host quarantined under this job
+    migrations: int = 0             #: times moved off a quarantined host
+    recovered: bool = False         #: re-admitted from a journal replay
+    orphan_pid: int | None = None   #: worker pid left behind by a crash
+    pid: int | None = None          #: current worker pid, while running
+    crash_hosts: list[str] = field(default_factory=list)
+    host_credits: int = 0           #: host-attributed failures (don't
+                                    #: count against the retry budget)
     elapsed_s: float = 0.0
     submitted_at: float = field(default_factory=time.time)
     stream: str | None = None       #: progress/instrument stream path
@@ -78,6 +86,8 @@ class JobRecord:
             "error": self.error,
             "resumed": self.resumed,
             "from_cache": self.from_cache,
+            "migrations": self.migrations,
+            "recovered": self.recovered,
             "elapsed_s": round(self.elapsed_s, 6),
             "stream": self.stream,
             "result_path": self.result_path,

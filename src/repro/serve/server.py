@@ -48,9 +48,11 @@ from typing import Any
 from ..farm.cache import cache_key
 from ..farm.deploy import DeployManager, resolve_deploy
 from ..farm.job import ExecContext, Job
+from ..farm.retry import RetryPolicy
 from ..farm.runfarm import _worker_main
 from ..farm.store import SharedResultStore
 from ..instrument.stream import STREAM_SCHEMA, InstrumentStream
+from .journal import ServeJournal, replay_journal
 from .protocol import PROTOCOL_VERSION, ServeError, job_from_wire
 from .queue import FairScheduler, JobRecord
 
@@ -95,11 +97,34 @@ class FarmServer:
         Per-tenant concurrent-job quotas (see :class:`FairScheduler`).
     max_retries:
         Automatic re-queues after a crashed/raising/timed-out attempt.
+        Host-attributed failures (the worker crashed or timed out on a
+        host the breaker then blamed) earn *host credits* and do not
+        consume this budget — a flaky host can't exhaust an innocent
+        job's retries.
+    backoff_s / retry_policy:
+        Relaunch-delay schedule, shared with the batch farm:
+        ``backoff_s`` is shorthand for ``RetryPolicy(base_s=backoff_s)``
+        (exponential, capped at 2 s); an explicit
+        :class:`~repro.farm.retry.RetryPolicy` wins.
     timeout_s:
         Default per-job wall-clock limit (jobs may override).
     checkpoint_every:
         Quanta between mid-run checkpoints for lockstep kernel jobs —
         the knob that makes preemption cheap to resume.
+    recover:
+        Replay ``<spool>/journal.jsonl`` on construction: terminal jobs
+        are restored (completed payloads are never re-run), non-terminal
+        jobs are re-enqueued — resuming from their spool checkpoint
+        where one exists — and workers orphaned by the crash are marked
+        on the job streams (see :mod:`repro.serve.journal`).
+    fault_plan:
+        Optional :class:`repro.reliability.FaultPlan` for chaos runs:
+        worker faults key on the job's 0-based admission order,
+        ``host-stall`` faults on deploy host names, and ``socket-drop``
+        faults close client connections *before* dispatch.
+    suspect_after / quarantine_after / probe_interval:
+        When set, override the deploy manager's host-health circuit
+        breaker thresholds (see :mod:`repro.farm.deploy`).
     """
 
     def __init__(self, spool: str | os.PathLike,
@@ -113,9 +138,22 @@ class FarmServer:
                  checkpoint_every: int = 2,
                  socket_path: str | os.PathLike | None = None,
                  store_max_entries: int | None = None,
-                 store_max_bytes: int | None = None) -> None:
+                 store_max_bytes: int | None = None,
+                 recover: bool = False,
+                 fault_plan=None,
+                 retry_policy: RetryPolicy | None = None,
+                 suspect_after: int | None = None,
+                 quarantine_after: int | None = None,
+                 probe_interval: int | None = None) -> None:
         self.spool = pathlib.Path(spool)
         self.deploy = resolve_deploy(deploy, None)
+        if suspect_after is not None:
+            self.deploy.suspect_after = max(1, int(suspect_after))
+        if quarantine_after is not None:
+            self.deploy.quarantine_after = max(
+                self.deploy.suspect_after, int(quarantine_after))
+        if probe_interval is not None:
+            self.deploy.probe_interval = max(1, int(probe_interval))
         if store is False:
             self.store = None
         elif isinstance(store, SharedResultStore):
@@ -129,8 +167,11 @@ class FarmServer:
                                        default_quota=default_quota)
         self.max_retries = max(0, int(max_retries))
         self.backoff_s = max(0.0, float(backoff_s))
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy(base_s=self.backoff_s))
         self.timeout_s = timeout_s
         self.checkpoint_every = max(1, int(checkpoint_every))
+        self.fault_plan = fault_plan
         self.socket_path = pathlib.Path(socket_path
                                         if socket_path is not None
                                         else self._default_socket())
@@ -141,10 +182,16 @@ class FarmServer:
         self._active: dict[str, _Active] = {}
         self._seq = 0
         self._closing = False
+        self._crashed = False
         self._drain = True
+        self._req_count = 0
+        self._host_launches: dict[str, int] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._done: asyncio.Event | None = None
         self._server: asyncio.AbstractServer | None = None
+        self.journal = ServeJournal(self.spool / "journal.jsonl")
+        if recover:
+            self._recover()
 
     # -- paths ---------------------------------------------------------------
 
@@ -170,11 +217,16 @@ class FarmServer:
     def _stream(self, rec: JobRecord) -> InstrumentStream:
         stream = self._streams.get(rec.id)
         if stream is None:
-            stream = InstrumentStream(self.stream_path(rec.id))
-            stream.write({"t": "meta", "schema": STREAM_SCHEMA,
-                          "source": "serve", "job": rec.id,
-                          "label": rec.job.label, "tenant": rec.tenant,
-                          "config": rec.job.config.name})
+            path = self.stream_path(rec.id)
+            # a recovered job appends to the stream the crashed server
+            # left behind — only a genuinely new file gets a meta record
+            fresh = not path.exists()
+            stream = InstrumentStream(path)
+            if fresh:
+                stream.write({"t": "meta", "schema": STREAM_SCHEMA,
+                              "source": "serve", "job": rec.id,
+                              "label": rec.job.label, "tenant": rec.tenant,
+                              "config": rec.job.config.name})
             self._streams[rec.id] = stream
         return stream
 
@@ -188,11 +240,101 @@ class FarmServer:
         if stream is not None:
             stream.seal(reason=rec.state)
 
+    # -- crash recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal left by a crashed server (see module
+        docstring of :mod:`repro.serve.journal`)."""
+        restored = requeued = 0
+        for s in replay_journal(self.journal.path):
+            try:
+                job = job_from_wire(s["job"])
+            except ServeError:
+                continue  # submit line torn beyond use
+            self._seq = max(self._seq, s["seq"])
+            rec = JobRecord(id=s["id"], tenant=s["tenant"],
+                            priority=s["priority"], job=job, seq=s["seq"],
+                            state=s["state"], attempts=int(s["attempts"]),
+                            host=s["host"], error=s["error"],
+                            resumed=bool(s["resumed"]),
+                            from_cache=bool(s["from_cache"]))
+            rec.stream = str(self.stream_path(rec.id))
+            if s["instrument"] is not None:
+                self._instrument_specs[rec.id] = s["instrument"]
+            self.jobs[rec.id] = rec
+            if s["terminal"]:
+                if rec.state == "ok" and not self._reload_payload(rec):
+                    # ok in the journal but the payload never landed:
+                    # the only terminal state recovery must redo
+                    self._requeue_recovered(rec, was="ok")
+                    requeued += 1
+                    continue
+                restored += 1
+                continue
+            if s["orphaned"] and s["pid"] is not None:
+                rec.orphan_pid = int(s["pid"])
+                self._event(rec, "orphaned", pid=rec.orphan_pid,
+                            attempt=rec.attempts)
+            self._requeue_recovered(rec, was=s["state"])
+            requeued += 1
+        self.journal.append({"t": "recover", "restored": restored,
+                             "requeued": requeued})
+
+    def _reload_payload(self, rec: JobRecord) -> bool:
+        """Re-attach a completed job's persisted payload; False when the
+        results file is gone/unreadable (job must re-run)."""
+        path = self.spool / "results" / f"{rec.id}.json"
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            rec.payload = doc["payload"]
+        except (OSError, ValueError, KeyError):
+            if (self.store is not None and rec.job.cacheable
+                    and rec.id not in self._instrument_specs):
+                rec.payload = self.store.get(cache_key(rec.job))
+                if rec.payload is not None:
+                    rec.from_cache = True
+                    self._persist_result(rec)
+                    return True
+            return False
+        rec.result_path = str(path)
+        return True
+
+    def _requeue_recovered(self, rec: JobRecord, was: str) -> None:
+        """Re-admit one non-terminal journal job into the scheduler."""
+        rec.recovered = True
+        ckpt = self.checkpoint_dir / f"{cache_key(rec.job)}.ckpt"
+        # completed-elsewhere fast path: a store hit means the work is
+        # already done (possibly by a twin submission) — don't redo it
+        if (self.store is not None and rec.job.cacheable
+                and rec.id not in self._instrument_specs):
+            payload = self.store.get(cache_key(rec.job))
+            if payload is not None:
+                rec.payload = payload
+                rec.from_cache = True
+                rec.state = "ok"
+                self.journal.state(rec)
+                self._persist_result(rec)
+                self._event(rec, "recovered", was=was)
+                self._event(rec, "store-hit")
+                self._seal(rec)
+                return
+        rec.state = "queued"
+        rec.host = None
+        self.journal.state(rec)
+        self._event(rec, "recovered", was=was, checkpoint=ckpt.exists())
+        self.scheduler.submit(rec)
+
     # -- request handling ----------------------------------------------------
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
+            self._req_count += 1
+            if (self.fault_plan is not None
+                    and self.fault_plan.socket_drop(self._req_count)):
+                # chaos: drop the connection before reading the request,
+                # so nothing was dispatched and a client retry is safe
+                return
             line = await reader.readline()
             if not line:
                 return
@@ -254,6 +396,10 @@ class FarmServer:
                         priority=priority, job=job, seq=self._seq)
         rec.stream = str(self.stream_path(rec.id))
         self.jobs[rec.id] = rec
+        # write-ahead: the admission hits the journal before any state
+        # the crash could lose is built up
+        self.journal.submit(rec, wire=dict(req.get("job") or {}),
+                            instrument=instrument)
         self._event(rec, "queued", tenant=tenant, priority=priority)
 
         # store fast path: a previously computed payload completes the
@@ -265,6 +411,7 @@ class FarmServer:
                 rec.payload = payload
                 rec.from_cache = True
                 rec.state = "ok"
+                self.journal.state(rec)
                 self._persist_result(rec)
                 self._event(rec, "store-hit")
                 self._seal(rec)
@@ -306,6 +453,7 @@ class FarmServer:
             # never ran: preempting a queued job is just a cancel
             self.scheduler.withdraw(rec)
             rec.state = "cancelled"
+            self.journal.state(rec)
             self._event(rec, "cancelled", was="queued")
             self._seal(rec)
             self._write_manifest()
@@ -322,6 +470,7 @@ class FarmServer:
             if preempt:
                 raise ServeError(f"job {rec.id} is already preempted")
             rec.state = "cancelled"
+            self.journal.state(rec)
             self._event(rec, "cancelled", was="preempted")
             self._seal(rec)
             self._write_manifest()
@@ -335,6 +484,7 @@ class FarmServer:
             raise ServeError(
                 f"job {rec.id} is {rec.state}; only preempted jobs resume")
         rec.state = "queued"
+        self.journal.state(rec)
         self._event(rec, "resume-queued")
         self.scheduler.submit(rec)
         self._pump()
@@ -375,18 +525,30 @@ class FarmServer:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def _exec_ctx(self, rec: JobRecord) -> ExecContext:
+    def _exec_ctx(self, rec: JobRecord, host: str) -> ExecContext:
         spec = self._instrument_specs.get(rec.id)
         idir = None
         if spec is not None:
             idir = self.instrument_dir(rec.id)
             idir.mkdir(parents=True, exist_ok=True)
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
-        return ExecContext(checkpoint_dir=self.checkpoint_dir,
+        return ExecContext(fault=self._pick_fault(rec, host),
+                           checkpoint_dir=self.checkpoint_dir,
                            checkpoint_every=self.checkpoint_every,
                            in_process=False,
                            instrument_spec=spec,
                            instrument_dir=idir)
+
+    def _pick_fault(self, rec: JobRecord, host: str):
+        """The chaos fault (if any) this attempt must deliver: worker
+        faults key on admission order, host-stalls on launch-per-host."""
+        if self.fault_plan is None:
+            return None
+        fault = self.fault_plan.worker_fault(rec.seq - 1, rec.attempts)
+        if fault is None:
+            fault = self.fault_plan.host_stall(
+                host, self._host_launches.get(host, 0))
+        return fault
 
     def _launch(self, rec: JobRecord, host: str) -> None:
         ctx = self._mp_context()
@@ -394,12 +556,15 @@ class FarmServer:
         rec.attempts += 1
         rec.state = "running"
         rec.host = host
+        exec_ctx = self._exec_ctx(rec, host)
+        self._host_launches[host] = self._host_launches.get(host, 0) + 1
         proc = ctx.Process(target=_worker_main,
-                           args=(send, rec.job, rec.attempts,
-                                 self._exec_ctx(rec)),
+                           args=(send, rec.job, rec.attempts, exec_ctx),
                            daemon=True)
         proc.start()
         send.close()
+        rec.pid = proc.pid
+        self.journal.state(rec, pid=proc.pid)
         run = _Active(rec, proc, recv)
         self._active[rec.id] = run
         self._event(rec, "start", attempt=rec.attempts, host=host)
@@ -439,25 +604,51 @@ class FarmServer:
 
     def _transition(self, rec: JobRecord, run: _Active, status: str,
                     data: Any, meta: dict[str, Any]) -> None:
+        rec.pid = None
         if rec.cancel_requested:
             rec.state = "cancelled"
+            self.journal.state(rec)
             self._event(rec, "cancelled", was="running")
             self._seal(rec)
+        elif rec.migrate_requested and status != "ok":
+            # the host was quarantined under this job: preempt-and-requeue
+            # via the checkpoint path, at no cost to the retry budget
+            rec.migrate_requested = False
+            rec.migrations += 1
+            if rec.migrations <= len(self.deploy.hosts):
+                rec.host_credits += 1
+            from_host = rec.host
+            rec.state = "queued"
+            ckpt = self.checkpoint_dir / f"{cache_key(rec.job)}.ckpt"
+            self.journal.state(rec)
+            self._event(rec, "migrate", attempt=rec.attempts,
+                        from_host=from_host, checkpoint=ckpt.exists())
+            self.scheduler.submit(rec)
+            # _pump follows in _on_worker_done; the job lands on a
+            # healthy host because acquire() skips quarantined ones
         elif rec.preempt_requested and status != "ok":
             rec.preempt_requested = False
             rec.state = "preempted"
             ckpt = self.checkpoint_dir / f"{cache_key(rec.job)}.ckpt"
+            self.journal.state(rec)
             self._event(rec, "preempted", attempt=rec.attempts,
                         checkpoint=ckpt.exists())
             # stream stays unsealed: a resume continues the same file
         elif status == "ok":
+            rec.migrate_requested = False
             rec.payload = data
             rec.resumed = bool(meta.get("resumed"))
             rec.state = "ok"
+            if rec.host is not None:
+                self.deploy.report_success(rec.host)
             if (self.store is not None and rec.job.cacheable
                     and rec.id not in self._instrument_specs):
                 self.store.put(cache_key(rec.job), rec.job, data)
+            self.journal.state(rec)
             self._persist_result(rec)
+            if rec.migrations:
+                self._event(rec, "recover", host=rec.host,
+                            resumed=rec.resumed, migrations=rec.migrations)
             self._event(rec, "ok", attempt=rec.attempts,
                         resumed=rec.resumed, cycles=data.get("cycles"))
             self._seal(rec)
@@ -466,18 +657,59 @@ class FarmServer:
                      f"{self._job_timeout(rec.job):g}s" if run.timed_out
                      else str(data))
             rec.error = error
-            if rec.attempts <= self.max_retries and not self._closing:
+            self._attribute_failure(rec, run, status)
+            charged = rec.attempts - rec.host_credits
+            if charged <= self.max_retries and not self._closing:
                 rec.state = "queued"
+                self.journal.state(rec)
                 self._event(rec, "retry", attempt=rec.attempts, error=error)
-                delay = min(self.backoff_s * rec.attempts, 2.0)
+                delay = self.retry_policy.delay(rec.attempts)
                 assert self._loop is not None
                 self._loop.call_later(delay, self._requeue, rec)
             else:
                 rec.state = "failed"
+                self.journal.state(rec)
                 self._event(rec, "failed", attempt=rec.attempts, error=error)
                 self._seal(rec)
         if rec.done:
             self._write_manifest()
+
+    def _attribute_failure(self, rec: JobRecord, run: _Active,
+                           status: str) -> None:
+        """Blame a failed attempt on the host or the job, and trip the
+        breaker/migration when the host crosses its quarantine line.
+
+        A crash/timeout is host-correlated the first time it happens on
+        a given host; the same job dying on a second distinct host looks
+        job-intrinsic (the job travels, the fault travels with it).  A
+        workload exception is always job-intrinsic.
+        """
+        host = rec.host
+        if host is None:
+            return
+        host_fault = bool(run.timed_out or status == "crash")
+        intrinsic = (not host_fault or host in rec.crash_hosts
+                     or len(rec.crash_hosts) >= 2)
+        if host_fault and host not in rec.crash_hosts:
+            rec.crash_hosts.append(host)
+        was = self.deploy.health(host).state
+        self.deploy.report_failure(host, job_intrinsic=intrinsic)
+        if not intrinsic:
+            rec.host_credits += 1
+        if (self.deploy.health(host).state == "quarantined"
+                and was != "quarantined"):
+            self._event(rec, "quarantine", host=host, error=rec.error)
+            self._migrate_host(host)
+
+    def _migrate_host(self, host: str) -> None:
+        """Preempt every other job still running on a newly quarantined
+        host; each lands back in the queue via its checkpoint."""
+        for other in list(self._active.values()):
+            rec = other.rec
+            if rec.host == host and not rec.done:
+                rec.migrate_requested = True
+                if other.proc.is_alive():
+                    other.proc.terminate()
 
     def _requeue(self, rec: JobRecord) -> None:
         if rec.state != "queued" or self._closing and not self._drain:
@@ -539,6 +771,22 @@ class FarmServer:
         if self._done is not None:
             self._done.set()
 
+    def crash(self) -> None:
+        """Chaos/test hook: die the way a SIGKILL'd server does.
+
+        Workers are killed (the "machine" went down with the server),
+        streams are left unsealed, no manifest is written, and the
+        journal stops exactly where it stands — the state a
+        ``recover=True`` restart has to cope with.  Must run on the
+        server's event loop (``ServerHandle.crash`` marshals it).
+        """
+        self._crashed = True
+        for run in list(self._active.values()):
+            if run.proc.is_alive():
+                run.proc.kill()
+        if self._done is not None:
+            self._done.set()
+
     async def start(self) -> None:
         """Bind the socket and start background tasks."""
         self.spool.mkdir(parents=True, exist_ok=True)
@@ -552,6 +800,9 @@ class FarmServer:
         self._server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path), limit=_MAX_LINE)
         self._watchdog_task = asyncio.ensure_future(self._watchdog())
+        # jobs re-enqueued by a journal replay are waiting for the loop
+        if self.scheduler.queued:
+            self._pump()
 
     async def serve_forever(self, on_started=None) -> None:
         """Run until a ``shutdown`` request finishes draining."""
@@ -566,14 +817,16 @@ class FarmServer:
             if self._server is not None:
                 self._server.close()
                 await self._server.wait_closed()
-            for job_id, stream in list(self._streams.items()):
-                stream.seal(reason="server-shutdown")
-                self._streams.pop(job_id, None)
-            self._write_manifest()
-            try:
-                self.socket_path.unlink()
-            except OSError:
-                pass
+            if not self._crashed:
+                for job_id, stream in list(self._streams.items()):
+                    stream.seal(reason="server-shutdown")
+                    self._streams.pop(job_id, None)
+                self._write_manifest()
+                try:
+                    self.socket_path.unlink()
+                except OSError:
+                    pass
+            self.journal.close()
 
     @classmethod
     def start_background(cls, spool: str | os.PathLike,
@@ -620,6 +873,14 @@ class ServerHandle:
                 self.client().shutdown(drain=drain)
             except (ServeError, OSError):
                 pass  # already shutting down / socket gone
+        self.thread.join(timeout=timeout_s)
+
+    def crash(self, timeout_s: float = 10.0) -> None:
+        """Hard-crash the server (chaos tests): no drain, no manifest,
+        no stream seals — see :meth:`FarmServer.crash`."""
+        loop = self.server._loop
+        if loop is not None and self.thread.is_alive():
+            loop.call_soon_threadsafe(self.server.crash)
         self.thread.join(timeout=timeout_s)
 
     def __enter__(self) -> "ServerHandle":

@@ -67,4 +67,4 @@ def test_run_check_rejects_unknown_tier():
 
 def test_all_tiers_is_exhaustive():
     assert set(ALL_TIERS) == {"golden", "lint", "accel", "checkpoint",
-                              "instrument", "farm"}
+                              "instrument", "farm", "chaos"}

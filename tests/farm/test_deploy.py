@@ -75,9 +75,150 @@ def test_describe_inventory():
     doc = dep.describe()
     assert doc["kind"] == "externally-provisioned"
     assert doc["total_slots"] == 3
-    assert doc["hosts"] == [{"name": "a", "slots": 2, "busy": 1},
-                            {"name": "b", "slots": 1, "busy": 0}]
+    assert doc["hosts"] == [
+        {"name": "a", "slots": 2, "busy": 1, "state": "healthy",
+         "consecutive_failures": 0, "failures": 0, "successes": 0,
+         "quarantines": 0},
+        {"name": "b", "slots": 1, "busy": 0, "state": "healthy",
+         "consecutive_failures": 0, "failures": 0, "successes": 0,
+         "quarantines": 0},
+    ]
     json.dumps(doc)  # manifest-able
+
+
+# ------------------------------------------------------------- host health
+
+def _fleet(**kw):
+    return ExternallyProvisionedDeployManager([("a", 1), ("b", 1)], **kw)
+
+
+def test_breaker_walks_healthy_suspect_quarantined():
+    dep = _fleet(suspect_after=2, quarantine_after=3)
+    dep.report_failure("a")
+    assert dep.health("a").state == "healthy"
+    dep.report_failure("a")
+    assert dep.health("a").state == "suspect"
+    dep.report_failure("a")
+    assert dep.health("a").state == "quarantined"
+    assert dep.quarantined_hosts() == ["a"]
+    assert dep.health("a").quarantines == 1
+
+
+def test_job_intrinsic_failures_never_count_against_host():
+    dep = _fleet(suspect_after=1, quarantine_after=1)
+    for _ in range(5):
+        dep.report_failure("a", job_intrinsic=True)
+    hh = dep.health("a")
+    assert (hh.state, hh.failures, hh.consecutive_failures) == ("healthy", 0, 0)
+
+
+def test_success_closes_the_breaker():
+    dep = _fleet(suspect_after=1, quarantine_after=2)
+    dep.report_failure("a")
+    assert dep.health("a").state == "suspect"
+    dep.report_success("a")
+    hh = dep.health("a")
+    assert (hh.state, hh.consecutive_failures) == ("healthy", 0)
+    assert hh.failures == 1          # lifetime count survives
+
+
+def test_suspect_host_is_last_resort():
+    dep = _fleet(suspect_after=1, quarantine_after=2)
+    dep.report_failure("b")
+    assert dep.health("b").state == "suspect"
+    # healthy a wins even though b comes later in a least-loaded tie
+    assert dep.acquire() == "a"
+    # ...but a suspect host still beats refusing work
+    assert dep.acquire() == "b"
+
+
+def test_quarantined_host_excluded_until_probe_due():
+    dep = _fleet(suspect_after=1, quarantine_after=1, probe_interval=2)
+    assert dep.acquire() == "a"                      # tick 1
+    dep.report_failure("a")                          # quarantined, due tick 3
+    dep.release("a")
+    assert dep.acquire() == "b"                      # tick 2: a is skipped
+    # tick 3 reaches probe_due: a is offered as a half-open probe
+    assert dep.acquire() == "a"
+    assert dep.health("a").probing
+    dep.report_success("a")
+    dep.release("a")
+    assert dep.health("a").state == "healthy"
+    assert not dep.health("a").probing
+
+
+def test_failed_probe_backs_off_exponentially():
+    dep = _fleet(suspect_after=1, quarantine_after=1, probe_interval=2)
+    assert dep.acquire() == "a"                      # tick 1
+    dep.report_failure("a")                          # probe_due = 3
+    dep.release("a")
+    assert dep.acquire() == "b"                      # tick 2
+    assert dep.acquire() == "a"                      # tick 3: probe
+    dep.report_failure("a")                          # failed probe
+    dep.release("a")
+    hh = dep.health("a")
+    assert hh.state == "quarantined"
+    assert hh.quarantines == 2
+    assert hh.probe_due == 3 + 2 * 2                 # interval * backoff(2)
+    assert dep.acquire() is None                     # tick 4: b busy, a shut
+    for _ in range(3):                               # ticks 5..7
+        got = dep.acquire()
+        if got is not None:
+            break
+    assert got == "a"                                # unlocked at tick 7
+
+
+def test_all_hosts_quarantined_fails_open():
+    dep = LocalDeployManager(2, suspect_after=1, quarantine_after=1,
+                             probe_interval=100)
+    dep.report_failure("local")
+    assert dep.quarantined_hosts() == ["local"]
+    # probe window is nowhere near due, but refusing would deadlock
+    assert dep.acquire() == "local"
+    assert dep.health("local").probing
+    # one in-flight probe per host: the second slot stays shut
+    assert dep.acquire() is None
+
+
+# --------------------------------------------- acquire/release invariants
+
+def test_acquire_release_property_invariants():
+    """Random-but-seeded interleavings keep the slot ledger consistent."""
+    import random
+
+    fleet = [("a", 2), ("b", 3), ("c", 1)]
+    for seed in range(6):
+        rng = random.Random(seed)
+        dep = ExternallyProvisionedDeployManager(fleet)
+        held: list[str] = []
+        trace: list[tuple[str, str | None]] = []
+        for _ in range(120):
+            if held and rng.random() < 0.4:
+                h = held.pop(rng.randrange(len(held)))
+                dep.release(h)
+                trace.append(("rel", h))
+            else:
+                h = dep.acquire()
+                trace.append(("acq", h))
+                if h is None:
+                    assert dep.free_slots == 0       # only refuses when full
+                else:
+                    held.append(h)
+            assert dep.busy_slots == len(held)
+            per_host = {d["name"]: d for d in dep.describe()["hosts"]}
+            for name, slots in fleet:
+                assert 0 <= per_host[name]["busy"] <= slots
+        # double-release always raises, mid-sequence state notwithstanding
+        dep2 = ExternallyProvisionedDeployManager(fleet)
+        with pytest.raises(ValueError):
+            dep2.release("a")
+        # determinism: replaying the op sequence reproduces every choice
+        for op, h in trace:
+            if op == "acq":
+                assert dep2.acquire() == h
+            else:
+                assert h is not None
+                dep2.release(h)
 
 
 # ------------------------------------------------------------ spec parsing
@@ -94,10 +235,20 @@ def test_parse_deploy_spec(spec, kind, slots):
     assert dep.total_slots == slots
 
 
-@pytest.mark.parametrize("spec", ["", "local:x", "hosts:", "hosts:a=z", "gcp"])
+@pytest.mark.parametrize("spec", ["", "local:x", "hosts:", "hosts:a=z", "gcp",
+                                  "local:0", "local:-2"])
 def test_parse_deploy_spec_rejects_garbage(spec):
     with pytest.raises(ValueError):
         parse_deploy_spec(spec)
+
+
+def test_local_worker_count_is_validated_not_clamped():
+    with pytest.raises(ValueError, match=">= 1 worker"):
+        LocalDeployManager(0)
+    with pytest.raises(ValueError, match="got -3"):
+        LocalDeployManager(-3)
+    with pytest.raises(ValueError, match=">= 1 worker"):
+        parse_deploy_spec("local:0")
 
 
 def test_resolve_deploy_precedence(monkeypatch):

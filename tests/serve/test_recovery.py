@@ -1,0 +1,251 @@
+"""Crash-safe recovery, host quarantine, and checkpoint migration.
+
+The self-healing half of the serve layer: a journal replay after a
+hard crash must complete every accepted job exactly once, and a
+quarantined host's jobs must migrate to healthy hosts — all without
+ever changing a payload bit.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.farm import Job, execute_job
+from repro.instrument.stream import read_stream
+from repro.reliability import FaultPlan
+from repro.serve import (FarmServer, ServeClient, ServeJournal,
+                        job_to_wire, replay_journal)
+from repro.serve.queue import JobRecord
+from repro.soc import ROCKET1
+
+EI = dict(name="EI", scale=0.05)
+
+
+def kernel_job(**kw):
+    kw = {**EI, **kw}
+    return Job.kernel(ROCKET1, kw.pop("name"), **kw)
+
+
+def slow_job(**kw):
+    return Job.kernel(ROCKET1, "MM", scale=0.5, quantum=256, **kw)
+
+
+def serve(tmp_path, **kw):
+    kw.setdefault("deploy", "local:1")
+    kw.setdefault("backoff_s", 0.01)
+    return FarmServer.start_background(tmp_path / "spool", **kw)
+
+
+def wait_until(client, jid, states, timeout_s=60.0):
+    return client.wait(jid, timeout_s=timeout_s, poll_s=0.01, until=states)
+
+
+def serve_events(stream):
+    return [r["event"] for r in read_stream(stream) if r.get("t") == "serve"]
+
+
+# ---------------------------------------------------------------- journal
+
+def _rec(jid, seq, state="queued", **kw):
+    rec = JobRecord(id=jid, tenant="t", priority=0,
+                    job=Job.selftest("ok"), seq=seq)
+    rec.state = state
+    for k, v in kw.items():
+        setattr(rec, k, v)
+    return rec
+
+
+def test_journal_replay_folds_lifecycle(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    j = ServeJournal(path)
+    wire = job_to_wire(Job.selftest("ok"))
+    a, b = _rec("j0001", 1), _rec("j0002", 2)
+    j.submit(a, wire=wire)
+    j.submit(b, wire=wire)
+    a.state, a.attempts, a.host = "running", 1, "local"
+    j.state(a, pid=4242)
+    b.state, b.attempts = "ok", 1
+    j.state(b)
+    j.close()
+
+    summaries = {s["id"]: s for s in replay_journal(path)}
+    assert list(summaries) == ["j0001", "j0002"]     # admission order
+    ja, jb = summaries["j0001"], summaries["j0002"]
+    assert ja["state"] == "running" and ja["pid"] == 4242
+    assert ja["orphaned"] and not ja["terminal"]
+    assert jb["terminal"] and not jb["orphaned"]
+    assert ja["job"] == wire
+
+
+def test_journal_replay_skips_torn_tail(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    j = ServeJournal(path)
+    j.submit(_rec("j0001", 1), wire=job_to_wire(Job.selftest("ok")))
+    j.close()
+    with open(path, "ab") as fh:                     # the crash point
+        fh.write(b'{"t": "state", "id": "j0001", "sta')
+    summaries = replay_journal(path)
+    assert len(summaries) == 1
+    assert summaries[0]["state"] == "queued"         # torn line ignored
+
+
+def test_journal_survives_reopen_without_duplicate_meta(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    ServeJournal(path).close()
+    ServeJournal(path).close()                       # the --recover reopen
+    metas = [line for line in path.read_text().splitlines()
+             if json.loads(line)["t"] == "meta"]
+    assert len(metas) == 1
+
+
+# ---------------------------------------------------------- crash/recover
+
+def test_crash_recover_completes_every_job_exactly_once(tmp_path):
+    spool = tmp_path / "spool"
+    fast, slow, queued = kernel_job(seed=11), slow_job(), kernel_job(seed=12)
+
+    handle = serve(tmp_path, checkpoint_every=2)
+    client = handle.client()
+    fast_id = client.submit(fast)["id"]
+    done = wait_until(client, fast_id, {"ok"})
+    assert done["attempts"] == 1
+    slow_id = client.submit(slow)["id"]
+    wait_until(client, slow_id, {"running"}, timeout_s=30)
+    time.sleep(0.3)                  # let a couple of checkpoints land
+    queued_id = client.submit(queued)["id"]
+    handle.crash()
+
+    handle = serve(tmp_path, checkpoint_every=2, recover=True)
+    client = handle.client()
+    try:
+        # completed work is restored, never re-run
+        restored = client.status(fast_id, payload=True)
+        assert restored["state"] == "ok" and restored["attempts"] == 1
+        assert restored["payload"] == execute_job(fast)
+        # the orphaned running job resumes from its spool checkpoint
+        done_slow = wait_until(client, slow_id, {"ok", "failed"})
+        assert done_slow["state"] == "ok"
+        assert done_slow["recovered"] is True
+        assert client.status(slow_id, payload=True)["payload"] \
+            == execute_job(slow)
+        events = serve_events(done_slow["stream"])
+        assert "orphaned" in events and "recovered" in events
+        assert events[-1] == "ok"
+        # the queued job just runs
+        done_q = wait_until(client, queued_id, {"ok", "failed"})
+        assert done_q["state"] == "ok"
+        assert client.status(queued_id, payload=True)["payload"] \
+            == execute_job(queued)
+    finally:
+        handle.stop()
+
+    recovers = [json.loads(line)
+                for line in (spool / "journal.jsonl").read_text().splitlines()
+                if '"recover"' in line]
+    assert recovers and recovers[-1]["restored"] >= 1
+    assert recovers[-1]["requeued"] >= 1
+
+
+def test_recover_on_empty_spool_is_a_no_op(tmp_path):
+    with serve(tmp_path, recover=True) as handle:
+        client = handle.client()
+        doc = client.submit(kernel_job(seed=13))
+        assert wait_until(client, doc["id"], {"ok"})["state"] == "ok"
+
+
+# ------------------------------------------------- quarantine + migration
+
+def test_stalled_host_is_quarantined_and_jobs_migrate(tmp_path):
+    plan = FaultPlan.parse("host-stall host=a count=1")
+    victim = kernel_job(seed=14, timeout_s=0.3)
+    filler = kernel_job(seed=15)
+    mover = slow_job()
+    ref = execute_job(mover)
+
+    with serve(tmp_path, deploy="hosts:a=2,b=1", fault_plan=plan,
+               suspect_after=1, quarantine_after=1, probe_interval=1000,
+               checkpoint_every=2, max_retries=1) as handle:
+        client = handle.client()
+        victim_id = client.submit(victim)["id"]      # host a, stalls
+        filler_id = client.submit(filler)["id"]      # host b (least loaded)
+        mover_id = client.submit(mover)["id"]        # host a, second slot
+
+        done = wait_until(client, mover_id, {"ok", "failed"})
+        assert done["state"] == "ok"
+        assert done["host"] == "b"                   # moved off a
+        assert done["migrations"] == 1
+        assert client.status(mover_id, payload=True)["payload"] == ref
+        events = serve_events(done["stream"])
+        assert "migrate" in events and "recover" in events
+
+        # the stall victim itself retries on the healthy host for free
+        done_v = wait_until(client, victim_id, {"ok", "failed"})
+        assert done_v["state"] == "ok" and done_v["host"] == "b"
+        assert "quarantine" in serve_events(done_v["stream"])
+        wait_until(client, filler_id, {"ok"})
+
+        hosts = {h["name"]: h for h in client.status()["deploy"]["hosts"]}
+        assert hosts["a"]["state"] == "quarantined"
+        assert hosts["b"]["state"] == "healthy"
+
+
+def test_host_timeouts_do_not_burn_the_retry_budget(tmp_path):
+    """A host-correlated failure earns a credit: the job still gets its
+    full retry budget on a working host."""
+    plan = FaultPlan.parse("host-stall host=a count=1")
+    job = kernel_job(seed=16, timeout_s=0.3)
+    with serve(tmp_path, deploy="hosts:a=1,b=1", fault_plan=plan,
+               suspect_after=1, quarantine_after=1, probe_interval=1000,
+               max_retries=0) as handle:
+        client = handle.client()
+        done = wait_until(client, client.submit(job)["id"], {"ok", "failed"})
+        # attempt 1 timed out on a (host credit), attempt 2 ran on b —
+        # with max_retries=0 an uncredited failure would have been final
+        assert done["state"] == "ok"
+        assert done["attempts"] == 2 and done["host"] == "b"
+
+
+# ------------------------------------------------------- client transport
+
+def test_client_retries_until_server_appears(tmp_path):
+    spool = tmp_path / "spool"
+    sock = spool / "serve.sock"
+    result: dict = {}
+
+    import threading
+
+    def late_submit():
+        client = ServeClient(str(sock), connect_retries=40,
+                             retry_backoff_s=0.05)
+        result.update(client.submit(kernel_job(seed=17)))
+
+    racer = threading.Thread(target=late_submit)
+    racer.start()
+    time.sleep(0.2)                   # client is already retrying ENOENT
+    with FarmServer.start_background(spool, deploy="local:1",
+                                     backoff_s=0.01) as handle:
+        racer.join(timeout=30)
+        assert result.get("id")
+        done = wait_until(handle.client(), result["id"], {"ok"})
+        assert done["state"] == "ok"
+
+
+def test_client_retry_budget_is_bounded(tmp_path):
+    from repro.serve import ServeError
+
+    client = ServeClient(str(tmp_path / "nope.sock"),
+                         connect_retries=2, retry_backoff_s=0.001)
+    with pytest.raises(ServeError, match="cannot reach server"):
+        client.ping()
+
+
+def test_dropped_connection_is_retried_without_double_submit(tmp_path):
+    plan = FaultPlan.parse("socket-drop request=1; socket-drop request=3")
+    with serve(tmp_path, fault_plan=plan) as handle:
+        client = handle.client()
+        doc = client.submit(kernel_job(seed=18))     # request 1 dropped
+        done = wait_until(client, doc["id"], {"ok"})  # some polls dropped
+        assert done["state"] == "ok"
+        # exactly one job exists: the retried submit did not duplicate
+        assert len(client.status()["jobs"]) == 1
