@@ -2,15 +2,17 @@
 
 Times a reduced microbench sweep with ``accel="off"`` then ``"on"`` on the
 same configuration, asserts the bit-identity contract held and that the
-accelerated pass won, and times the functional interpreter.  The full
-39-kernel record lives in ``BENCH_4.json`` at the repo root (regenerated
-by ``repro bench --out BENCH_4.json``); this bench is the fast,
-CI-friendly slice of the same harness.
+accelerated pass won, and times the functional interpreter; a reduced
+config-batched sweep does the same for the batched engine.  The full
+39-kernel record lives in ``BENCH_5.json`` at the repo root (regenerated
+by ``repro bench --batched --out BENCH_5.json``); this bench is the
+fast, CI-friendly slice of the same harness.
 """
 
 import json
 
-from repro.accel.bench import run_interp_bench, run_suite_bench
+from repro.accel.bench import (run_batched_bench, run_interp_bench,
+                               run_suite_bench)
 from repro.soc import ROCKET1
 
 #: a cross-section of the suite: ALU loop, FP-heavy, L1-resident memory,
@@ -27,6 +29,18 @@ def test_hotpath_suite(benchmark, record):
     assert rec["speedup"] > 1.0, (
         f"accelerated pass was not faster: {rec}")
     record("hotpath_suite", json.dumps(rec, indent=2))
+
+
+def test_hotpath_batched_sweep(benchmark, record):
+    rec = benchmark.pedantic(
+        lambda: run_batched_bench(kernels=KERNELS),
+        rounds=1, iterations=1)
+    assert rec["identical"], (
+        "batched sweep diverged from serial per-config jobs")
+    assert rec["kernels"] == len(KERNELS)
+    assert rec["speedup"] > 1.0, (
+        f"batched pass was not faster: {rec}")
+    record("hotpath_batched_sweep", json.dumps(rec, indent=2))
 
 
 def test_hotpath_interp(benchmark, record):

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
 """Bench smoke check (CI): guard the hot-path speedup trajectory.
 
-Re-runs the tracked benchmark (the same harness behind ``repro bench``)
-and compares it against the committed baseline ``BENCH_4.json``:
+Re-runs the tracked benchmark (the same harness behind ``repro bench
+--batched``) and compares it against the committed baseline
+``BENCH_5.json``:
 
 1. the accelerated pass must stay **bit-identical** to the reference
-   path on every kernel (cycles, stalls, instruction counts);
-2. the off/on speedup — a same-host ratio, so it is stable across CI
-   runners — must not regress by more than 10% against the baseline.
+   path on every kernel (cycles, stalls, instruction counts), and the
+   config-batched sweep pass must stay bit-identical to serial
+   per-config jobs on every (kernel, config) point;
+2. the off/on speedup and the serial/batched speedup — same-host
+   ratios, so they are stable across CI runners — must not regress by
+   more than 10% against the baseline;
+3. once the baseline records nonzero span-solver coverage, the run's
+   coverage must not fall below 90% of it (the gate arms itself the
+   first time a workload change makes the span solver engage).
 
 Absolute wall-clock numbers are *not* compared: they measure the host,
 not the code.  Exit code 0 on success; any check failure is a
@@ -25,37 +32,66 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.accel.bench import run_bench  # noqa: E402
 
-BASELINE = ROOT / "BENCH_4.json"
-#: allowed fractional speedup regression vs the committed baseline
+BASELINE = ROOT / "BENCH_5.json"
+#: allowed fractional regression vs the committed baseline (speedup
+#: ratios and, once armed, span-solver coverage)
 TOLERANCE = 0.10
+
+
+def _gate_speedup(name: str, run: float, base: float) -> bool:
+    floor = base * (1.0 - TOLERANCE)
+    if run < floor:
+        print(f"FAIL: {name} speedup x{run} fell below x{floor:.2f} "
+              f"(baseline x{base} - {TOLERANCE:.0%})")
+        return False
+    return True
 
 
 def main() -> int:
     baseline = json.loads(BASELINE.read_text())
-    base_speedup = baseline["suite"]["speedup"]
 
-    record = run_bench()  # full suite, same defaults as the baseline
+    record = run_bench(batched=True)  # same defaults as the baseline
     suite = record["suite"]
-    print(f"baseline speedup x{base_speedup}, "
-          f"this run x{suite['speedup']} "
-          f"({suite['kernels']} kernels, off {suite['off_seconds']}s, "
-          f"on {suite['on_seconds']}s)")
+    bt = record["batched"]
+    print(f"suite: baseline x{baseline['suite']['speedup']}, this run "
+          f"x{suite['speedup']} ({suite['kernels']} kernels, "
+          f"off {suite['off_seconds']}s, on {suite['on_seconds']}s)")
+    print(f"batched: baseline x{baseline['batched']['speedup']}, this run "
+          f"x{bt['speedup']} ({bt['kernels']} kernels x "
+          f"{len(bt['configs'])} configs, serial {bt['serial_seconds']}s, "
+          f"batched {bt['batched_seconds']}s)")
 
     if not suite["identical"]:
         print("FAIL: accel=on diverged from the reference path")
         return 1
-    floor = base_speedup * (1.0 - TOLERANCE)
-    if suite["speedup"] < floor:
-        print(f"FAIL: speedup x{suite['speedup']} fell below "
-              f"x{floor:.2f} (baseline x{base_speedup} - {TOLERANCE:.0%})")
+    if not bt["identical"]:
+        print("FAIL: batched sweep diverged from serial per-config jobs")
         return 1
+    if not _gate_speedup("suite", suite["speedup"],
+                         baseline["suite"]["speedup"]):
+        return 1
+    if not _gate_speedup("batched", bt["speedup"],
+                         baseline["batched"]["speedup"]):
+        return 1
+
+    # coverage gate: inert while the baseline's span solver never
+    # engages (a workload property), armed as soon as it does
+    base_cov = baseline["suite"].get("fastpath_coverage", 0.0)
+    if base_cov > 0.0:
+        cov = suite["fastpath_coverage"]
+        if cov < base_cov * (1.0 - TOLERANCE):
+            print(f"FAIL: fast-path coverage {cov:.1%} fell below "
+                  f"{base_cov * (1.0 - TOLERANCE):.1%} "
+                  f"(baseline {base_cov:.1%} - {TOLERANCE:.0%})")
+            return 1
 
     interp = record["interp"]
     if not (interp["decode_hits"] == interp["decode_misses"] > 0):
         print(f"FAIL: decode cache not effective: {interp}")
         return 1
 
-    print("bench smoke OK: bit-identical, speedup within tolerance")
+    print("bench smoke OK: bit-identical (suite + batched), "
+          "speedups within tolerance")
     return 0
 
 

@@ -10,6 +10,11 @@ against (the CI ``bench-smoke`` job fails on >10% regression).
 Every in-process cache is dropped before each timed pass, so a pass
 never feeds on work done by an earlier one: the accelerated pass pays
 for its own trace building, span segmentation, and memoization.
+
+``repro bench --batched`` adds a second experiment on the same record:
+the full (kernel x ALL_CONFIGS) sweep timed serial-per-config versus
+config-batched (:func:`run_batched_bench`), with its own bit-identity
+flag and span diagnostics.
 """
 
 from __future__ import annotations
@@ -21,8 +26,8 @@ from typing import Any
 from . import memo
 from .stats import global_stats, reset_global_stats
 
-__all__ = ["run_suite_bench", "run_interp_bench", "run_bench",
-           "write_bench_json", "BENCH_SCHEMA"]
+__all__ = ["run_suite_bench", "run_batched_bench", "run_interp_bench",
+           "run_bench", "write_bench_json", "BENCH_SCHEMA"]
 
 BENCH_SCHEMA = 1
 
@@ -131,6 +136,77 @@ def _span_solver_record(on_runs) -> dict[str, Any]:
     return totals
 
 
+def run_batched_bench(configs=None, scale: float = 0.3, seed: int = 0,
+                      kernels: list[str] | None = None) -> dict[str, Any]:
+    """Time the (kernel x config) sweep serial-per-config, then batched.
+
+    The serial leg runs one ``Job.kernel`` per (kernel, config) pair on
+    the reference models (``accel="off"``) — the per-config path every
+    batched point is contractually bit-identical to.  The batched leg
+    runs one config-batched ``Job.sweep`` per kernel: the trace is
+    compiled once and every configuration evaluated over it in a single
+    vectorized pass.  Both legs start cache-cold; ``identical`` asserts
+    full payload equality on every (kernel, config) point, and
+    ``span_diagnostics`` reports how the batched pass earned its time
+    (fast-path coverage, span engagement, compiled-trace store traffic).
+    """
+    from ..farm.job import Job, execute_job
+    from ..soc.presets import ALL_CONFIGS
+    from ..workloads.microbench import runnable_kernels
+
+    if configs is None:
+        configs = [ALL_CONFIGS[n] for n in sorted(ALL_CONFIGS)]
+    names = kernels or [k.spec.name for k in runnable_kernels()]
+
+    memo.clear_caches()
+    serial: dict[str, dict[str, Any]] = {}
+    t0 = time.perf_counter()
+    for kname in names:
+        serial[kname] = {
+            cfg.name: execute_job(Job.kernel(cfg.with_(accel="off"), kname,
+                                             scale=scale, seed=seed))
+            for cfg in configs
+        }
+    serial_s = time.perf_counter() - t0
+
+    memo.clear_caches()
+    reset_global_stats()
+    batched: dict[str, dict[str, Any]] = {}
+    t0 = time.perf_counter()
+    for kname in names:
+        payload = execute_job(Job.sweep(configs, kname,
+                                        scale=scale, seed=seed))
+        batched[kname] = payload["points"]
+    batched_s = time.perf_counter() - t0
+    g = global_stats()
+
+    identical = all(
+        serial[kname][cfg.name] == batched[kname][cfg.name]
+        for kname in names for cfg in configs
+    )
+    return {
+        "configs": [cfg.name for cfg in configs],
+        "kernels": len(names),
+        "scale": scale,
+        "seed": seed,
+        "serial_seconds": round(serial_s, 3),
+        "batched_seconds": round(batched_s, 3),
+        "speedup": round(serial_s / batched_s, 2) if batched_s else 0.0,
+        "identical": identical,
+        "span_diagnostics": {
+            "fastpath_uops": g.fastpath_uops,
+            "fallback_uops": g.fallback_uops,
+            "coverage": round(g.coverage, 4),
+            "spans": g.spans,
+            "spans_completed": g.spans_completed,
+            "aborts_no_converge": g.aborts_no_converge,
+            "aborts_fe_hazard": g.aborts_fe_hazard,
+            "compile_store_hits": g.compile_store_hits,
+            "compile_store_misses": g.compile_store_misses,
+        },
+    }
+
+
 def run_interp_bench(iterations: int = 40) -> dict[str, Any]:
     """Time the functional interpreter on a store/load/ALU inner loop.
 
@@ -186,14 +262,23 @@ def run_interp_bench(iterations: int = 40) -> dict[str, Any]:
 
 
 def run_bench(config=None, scale: float = 0.5, seed: int = 0,
-              kernels: list[str] | None = None) -> dict[str, Any]:
-    """Full tracked benchmark: microbench sweep + interpreter."""
-    return {
+              kernels: list[str] | None = None,
+              batched: bool = False) -> dict[str, Any]:
+    """Full tracked benchmark: microbench sweep + interpreter.
+
+    With *batched* (CLI ``repro bench --batched``) the record also gets
+    a ``batched`` section timing the full (kernel x ALL_CONFIGS) sweep
+    serial-per-config versus config-batched.
+    """
+    record = {
         "schema": BENCH_SCHEMA,
         "suite": run_suite_bench(config, scale=scale, seed=seed,
                                  kernels=kernels),
         "interp": run_interp_bench(),
     }
+    if batched:
+        record["batched"] = run_batched_bench(kernels=kernels, seed=seed)
+    return record
 
 
 def write_bench_json(record: dict[str, Any], path) -> None:

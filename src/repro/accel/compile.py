@@ -1,0 +1,215 @@
+"""Trace compiler: one pre-analyzed, shareable form per decoded trace.
+
+A config sweep evaluates the *same* dynamic micro-op stream under N
+timing configurations, so everything that depends only on the trace —
+decoding numpy columns to plain-Python lists, classifying each op
+(fetch line, FP-ness, latency class), segmenting and pre-linking the
+span-eligible runs — is computed exactly once here and reused by every
+engine attached to the trace:
+
+* :class:`CompiledTrace` bundles the per-uop arrays: the plain-list
+  columns the scalar fast loops index, dense numpy opcode/operand
+  columns (``ops`` doubles as the latency-class index — per-config
+  latencies are ``lat_np[ct.ops]``), derived per-uop classifications
+  (``lines``, ``is_fp``), and the pre-linked :class:`~repro.accel.fastpath.Span`
+  list whose layout is config-independent (it is a pure function of the
+  op column) — the property the config-batched sweep driver relies on.
+* :func:`compiled_trace` caches one compiled form per live trace object
+  (bounded, id-keyed, like :func:`repro.accel.memo.trace_arrays`).
+* :func:`shared_compiled` adds cross-process sharing through a
+  :class:`~repro.farm.store.SharedResultStore`: the compiled columns are
+  published as a JSON payload keyed by workload identity, stamped with
+  the trace's sha-256 content digest, and verified against that digest
+  on the way back in — a corrupted or stale store entry silently falls
+  back to rebuilding from the kernel generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.isa.opcodes import FP_OPS
+from repro.isa.trace import Trace
+
+from . import memo
+from .stats import global_stats
+
+__all__ = ["CompiledTrace", "compiled_trace", "shared_compiled",
+           "compiled_store_key", "trace_payload", "trace_from_payload",
+           "COMPILE_SCHEMA"]
+
+#: payload schema for store-shared compiled traces
+COMPILE_SCHEMA = 1
+
+_FP_LUT = np.zeros(256, dtype=bool)
+_FP_LUT[[int(op) for op in FP_OPS]] = True
+
+
+class CompiledTrace:
+    """One trace, decoded and pre-analyzed for every engine at once."""
+
+    __slots__ = ("trace", "digest", "n", "cols", "spans",
+                 "ops", "operands", "lines", "is_fp")
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.digest = memo.trace_digest(trace)
+        view = memo.trace_arrays(trace)
+        self.cols = view
+        self.spans = view["spans"]
+        self.n = len(view["op"])
+        #: dense opcode column; also the latency-class index — a
+        #: config's per-uop latencies are ``lat_np[ct.ops]``
+        self.ops = trace.op.astype(np.int64)
+        #: (3, n) operand column stack: dst, src1, src2
+        self.operands = np.stack([
+            trace.dst.astype(np.int64),
+            trace.src1.astype(np.int64),
+            trace.src2.astype(np.int64),
+        ])
+        pc = trace.pc.astype(np.int64)
+        #: per-uop 64-byte fetch line (what the front-end replay keys on)
+        self.lines = (pc >> 6).tolist()
+        #: per-uop FP classification (issue-queue steering in the OoO model)
+        self.is_fp = _FP_LUT[trace.op].tolist()
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (f"CompiledTrace(n={self.n}, spans={len(self.spans)}, "
+                f"digest={self.digest[:12]})")
+
+
+#: id(trace) -> (trace, CompiledTrace); strong reference pins the id
+_compiled: dict[int, tuple[Any, CompiledTrace]] = {}
+_COMPILED_MAX = 8
+
+
+def compiled_trace(trace: Trace) -> CompiledTrace:
+    """The compiled form of *trace*, cached per live trace object."""
+    key = id(trace)
+    hit = _compiled.get(key)
+    if hit is not None:
+        if hit[0] is trace:
+            return hit[1]
+        del _compiled[key]  # id() reuse after an external purge: rebuild
+    ct = CompiledTrace(trace)
+    _compiled[key] = (trace, ct)
+    while len(_compiled) > _COMPILED_MAX:
+        del _compiled[next(iter(_compiled))]
+    return ct
+
+
+def clear_compiled() -> None:
+    """Drop the in-process compiled-trace cache (bench cold passes)."""
+    _compiled.clear()
+
+
+# -- store sharing ------------------------------------------------------------
+
+
+def compiled_store_key(workload: str, scale: float, seed: int) -> str:
+    """Stable store key for one workload's compiled trace."""
+    blob = json.dumps({"compile_schema": COMPILE_SCHEMA,
+                       "kind": "compiled-trace", "workload": workload,
+                       "scale": float(scale), "seed": int(seed)},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def trace_payload(trace: Trace) -> dict[str, Any]:
+    """JSON form of a trace's columns, stamped with its content digest."""
+    return {
+        "schema": COMPILE_SCHEMA,
+        "digest": memo.trace_digest(trace),
+        "n": len(trace),
+        "columns": {
+            "op": trace.op.tolist(),
+            "dst": trace.dst.tolist(),
+            "src1": trace.src1.tolist(),
+            "src2": trace.src2.tolist(),
+            "addr": trace.addr.tolist(),
+            "size": trace.size.tolist(),
+            "taken": trace.taken.tolist(),
+            "pc": trace.pc.tolist(),
+            "target": trace.target.tolist(),
+        },
+    }
+
+
+def trace_from_payload(payload: dict[str, Any]) -> Optional[Trace]:
+    """Rebuild a trace from a store payload; None when the payload is
+    not usable (wrong schema, missing columns, digest mismatch)."""
+    if not isinstance(payload, dict) or payload.get("schema") != COMPILE_SCHEMA:
+        return None
+    cols = payload.get("columns")
+    if not isinstance(cols, dict):
+        return None
+    try:
+        trace = Trace(
+            np.asarray(cols["op"]), np.asarray(cols["dst"]),
+            np.asarray(cols["src1"]), np.asarray(cols["src2"]),
+            np.asarray(cols["addr"]), np.asarray(cols["size"]),
+            np.asarray(cols["taken"]), np.asarray(cols["pc"]),
+            np.asarray(cols["target"]),
+        )
+    except (KeyError, TypeError, ValueError, OverflowError):
+        return None
+    if memo.trace_digest(trace) != payload.get("digest"):
+        return None  # stale or corrupted entry: rebuild from source
+    return trace
+
+
+class _TraceKey:
+    """Duck-typed job stand-in for publishing traces into a result store
+    (the store records ``label`` and ``describe()`` as entry metadata)."""
+
+    def __init__(self, workload: str, scale: float, seed: int) -> None:
+        self.workload = workload
+        self.scale = float(scale)
+        self.seed = int(seed)
+        self.label = f"trace:{workload}@s{self.scale}"
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": "compiled-trace", "workload": self.workload,
+                "scale": self.scale, "seed": self.seed,
+                "schema": COMPILE_SCHEMA}
+
+
+def shared_compiled(workload: str, scale: float, seed: int,
+                    build: Callable[[], Trace],
+                    store=None) -> CompiledTrace:
+    """Compiled trace for one workload, shared as widely as possible.
+
+    Resolution order: the in-process shared-trace cache, then *store*
+    (a :class:`~repro.farm.store.SharedResultStore` or compatible
+    ``get``/``put`` object — content-verified against the stamped
+    digest), then *build*; a freshly built trace is published back to
+    the store so sibling processes skip the kernel generator entirely.
+    """
+    g = global_stats()
+
+    def build_or_fetch() -> Trace:
+        skey = compiled_store_key(workload, scale, seed)
+        if store is not None:
+            trace = trace_from_payload(store.get(skey) or {})
+            if trace is not None:
+                g.compile_store_hits += 1
+                return trace
+            g.compile_store_misses += 1
+        trace = build()
+        if store is not None:
+            try:
+                store.put(skey, _TraceKey(workload, scale, seed),
+                          trace_payload(trace))
+            except OSError:
+                pass  # a full/readonly store never fails the run
+        return trace
+
+    trace = memo.shared_trace(workload, scale, seed, build_or_fetch)
+    return compiled_trace(trace)

@@ -692,7 +692,577 @@ def _inline_prefetcher(pf, contains_f, access_f):
     return observe
 
 
+# -- port attachment ----------------------------------------------------------
+
+def attach_port(port):
+    """Build the fast memory call graph over one TilePort's mirrored state.
+
+    Returns ``(dload, dstore, ifetch, detach)`` — closure twins of the
+    TilePort entry points (TLB translate, L1 access, prefetcher observe,
+    uncore bus/directory/L2 traversal, all over list mirrors).  Shared by
+    the in-order engine, the out-of-order engine, and the batched sweep
+    driver; ``detach`` flushes every mirror back and must run exactly
+    once, even when the simulated trace raises.
+    """
+    uncore = port.uncore
+    l2 = uncore.l2
+    below_l2 = l2.next_level
+    l2_access, l2_contains, l2_detach = _mirror_cache(
+        l2, _mirror_dram(below_l2) if type(below_l2) is DRAM
+        else below_l2.access)
+    bus = uncore.bus
+    bus_st = bus.stats
+    bus_tl = bus._timeline
+    bus_starts = bus_tl._starts
+    bus_ends = bus_tl._ends
+    bus_max = bus_tl.max_intervals
+    bus_reserve = bus_tl.reserve
+    line_bytes = uncore._line
+    bus_occ = bus.cfg.beats(line_bytes) / bus.cfg.clock_ratio
+    bus_arb = bus.cfg.arbitration_latency
+    directory = uncore.directory
+    tile_id = port.tile_id
+    if directory is not None:
+        # bus.transfer + SnoopDirectory.observe + L2, fused; the bus
+        # timeline fast-appends monotone arrivals like the bank
+        # timelines in _mirror_cache, falling back to reserve()
+        dst = directory.stats
+        shr = directory._sharers
+        own = directory._owner
+        inv_lat = directory.invalidate_latency
+        max_lines = directory.max_lines
+        dir_prune = directory._prune
+        bit = 1 << tile_id
+
+        def uncore_access(addr, time, is_store):
+            bus_st.transfers += 1
+            t = float(time)
+            if not bus_ends or t >= bus_ends[-1]:
+                bus_starts.append(t)
+                bus_ends.append(t + bus_occ)
+                if len(bus_ends) > bus_max:
+                    drop = len(bus_ends) - bus_max
+                    del bus_starts[:drop]
+                    del bus_ends[:drop]
+                start = t
+            else:
+                start = bus_reserve(t, bus_occ)
+            if start > time:
+                bus_st.contention_cycles += int(start - time)
+            t = int(start + bus_arb + bus_occ)
+            dline = addr // line_bytes
+            extra = 0
+            sharers = shr.get(dline, 0)
+            if is_store:
+                others = sharers & ~bit
+                if others:
+                    dst.invalidations += bin(others).count("1")
+                    extra = inv_lat
+                prev_owner = own.get(dline)
+                if prev_owner is not None and prev_owner != tile_id:
+                    dst.ownership_changes += 1
+                    if inv_lat > extra:
+                        extra = inv_lat
+                shr[dline] = bit
+                own[dline] = tile_id
+            else:
+                if dline in own and own[dline] != tile_id:
+                    dst.ownership_changes += 1
+                    del own[dline]
+                    extra = inv_lat
+                shr[dline] = sharers | bit
+            if len(shr) > max_lines:
+                dir_prune()
+            return l2_access(addr, t + extra, is_store)
+    else:
+        def uncore_access(addr, time, is_store):
+            bus_st.transfers += 1
+            t = float(time)
+            if not bus_ends or t >= bus_ends[-1]:
+                bus_starts.append(t)
+                bus_ends.append(t + bus_occ)
+                if len(bus_ends) > bus_max:
+                    drop = len(bus_ends) - bus_max
+                    del bus_starts[:drop]
+                    del bus_ends[:drop]
+                start = t
+            else:
+                start = bus_reserve(t, bus_occ)
+            if start > time:
+                bus_st.contention_cycles += int(start - time)
+            return l2_access(addr, int(start + bus_arb + bus_occ),
+                             is_store)
+
+    l1d_access, l1d_contains, l1d_detach = _mirror_cache(
+        port.l1d, uncore_access)
+    l1i_access, _, l1i_detach = _mirror_cache(port.l1i, uncore_access)
+
+    def walker(addr, time):
+        # page-table walks go straight to L2, as TilePort._walker does
+        return l2_access(addr, time, False)
+
+    itlb_translate = _fast_tlb(port.itlb, walker)
+    dtlb_translate = _fast_tlb(port.dtlb, walker)
+
+    pf = port.prefetcher
+    observe = None
+    if pf is not None:
+        if pf.cache is port.l1d:
+            observe = _inline_prefetcher(pf, l1d_contains, l1d_access)
+        elif pf.cache is uncore.l2:
+            observe = _inline_prefetcher(pf, l2_contains, l2_access)
+        else:
+            observe = pf.observe  # foreign cache: no mirror to corrupt
+
+    if observe is None:
+        def dload(addr, time):
+            return l1d_access(addr, dtlb_translate(addr, time), False)
+
+        def dstore(addr, time):
+            return l1d_access(addr, dtlb_translate(addr, time), True)
+    else:
+        def dload(addr, time):
+            t = dtlb_translate(addr, time)
+            done = l1d_access(addr, t, False)
+            observe(addr, t)
+            return done
+
+        def dstore(addr, time):
+            t = dtlb_translate(addr, time)
+            done = l1d_access(addr, t, True)
+            observe(addr, t)
+            return done
+
+    def ifetch(addr, time):
+        return l1i_access(addr, itlb_translate(addr, time), False)
+
+    def detach():
+        l1i_detach()
+        l1d_detach()
+        l2_detach()
+
+    return dload, dstore, ifetch, detach
+
+
 # -- the engine ---------------------------------------------------------------
+
+class _InOrderRun:
+    """One attached accelerated run, advanceable in segment-sized steps.
+
+    Holds everything :meth:`AccelEngine.run` used to keep in locals —
+    mirrored closures, decoded columns, live scoreboard state, stall and
+    span counters — so a driver can interleave progress across *several*
+    runs.  The solo engine and the config-batched sweep driver
+    (:mod:`repro.accel.batch`) both advance instances of this class
+    through the same methods, which is what keeps lockstep batched
+    execution bit-identical to solo execution by construction: the only
+    difference between the two drivers is who computes the span schedule
+    (``solve_span`` vs ``solve_span_batch``) — and those agree exactly.
+
+    Protocol: construct (attaches mirrors), call :meth:`scalar_to` /
+    :meth:`commit_span` until ``i == n``, then :meth:`close` (always, in
+    a ``finally``) and :meth:`finish` for the CoreResult.
+    """
+
+    __slots__ = (
+        "core", "i", "n", "spans",
+        "op_l", "dst_l", "s1_l", "s2_l", "addr_l", "size_l", "taken_l",
+        "pc_l", "tgt_l", "lat_list", "lat_np",
+        "dload", "dstore", "ifetch", "resolve", "mem_detach", "bru_detach",
+        "reg_ready", "sb", "vcfg", "vu_free", "cycle", "t0", "slots",
+        "mem_used", "ctrl_used", "fe_ready", "cur_line", "line_entry",
+        "div_free", "stall_fe", "stall_dep", "stall_mem", "stall_struct",
+        "l1d_st", "l1i_st", "bst", "l1d_miss0", "l1i_miss0", "br0", "mp0",
+        "sb_depth", "flush_pen", "bubble_pen", "icache_hit", "W",
+        "mem_ports", "pipelined_div", "load_to_use", "amo_extra",
+        "fast_uops", "slow_uops", "span_att", "span_done", "span_noconv",
+        "span_fehaz", "closed",
+    )
+
+    def __init__(self, core, trace, start_time: int = 0) -> None:
+        cfg = core.cfg
+        port = core.port
+        bru = core.bru
+        self.core = core
+
+        from .compile import compiled_trace
+        view = compiled_trace(trace).cols
+        self.op_l = view["op"]
+        self.dst_l = view["dst"]
+        self.s1_l = view["src1"]
+        self.s2_l = view["src2"]
+        self.addr_l = view["addr"]
+        self.size_l = view["size"]
+        self.taken_l = view["taken"]
+        self.pc_l = view["pc"]
+        self.tgt_l = view["target"]
+        self.spans = view["spans"]
+        self.n = len(self.op_l)
+        self.lat_list, self.lat_np = memo.latency_lut(cfg.latencies)
+
+        # ---- attach: build the fast call graph over mirrored state ----
+        self.dload, self.dstore, self.ifetch, self.mem_detach = \
+            attach_port(port)
+        self.resolve, self.bru_detach = _mirror_branch_unit(bru)
+
+        # ---- loop state (identical to the reference prologue) ----
+        self.reg_ready = core._reg_ready
+        self.sb = core._sb
+        self.vcfg = cfg.vector
+        self.vu_free = core._vu_free
+        self.cycle = max(start_time, core._time)
+        self.t0 = self.cycle
+        self.slots = 0
+        self.mem_used = 0
+        self.ctrl_used = 0
+        self.fe_ready = max(core._fe_ready, self.cycle)
+        self.cur_line = core._cur_fetch_line
+        self.line_entry = self.cycle
+        self.div_free = core._div_free
+        self.stall_fe = self.stall_dep = 0
+        self.stall_mem = self.stall_struct = 0
+        self.l1d_st = port.l1d.stats
+        self.l1i_st = port.l1i.stats
+        self.bst = bru.stats
+        self.l1d_miss0 = self.l1d_st.misses
+        self.l1i_miss0 = self.l1i_st.misses
+        self.br0 = self.bst.branches
+        self.mp0 = self.bst.mispredicts
+        self.sb_depth = cfg.store_buffer
+        self.flush_pen = cfg.flush_penalty
+        self.bubble_pen = cfg.bubble_penalty
+        self.icache_hit = core._icache_hit
+        self.W = cfg.issue_width
+        self.mem_ports = cfg.mem_ports
+        self.pipelined_div = cfg.pipelined_div
+        self.load_to_use = cfg.load_to_use
+        self.amo_extra = cfg.latencies.amo_extra
+        self.fast_uops = 0
+        self.slow_uops = 0
+        self.span_att = self.span_done = 0
+        self.span_noconv = self.span_fehaz = 0
+        self.i = 0
+        self.closed = False
+
+    def commit_span(self, sp, lat_arr, sol) -> bool:
+        """Apply one solved span: replay I-line crossings with real
+        fetches, commit the hazard-free prefix, update counters.
+
+        Returns True when the whole span committed (the caller moves to
+        the next span); False on a fetch hazard — ``i`` then points at
+        the first uncommitted op and the caller runs the scalar loop to
+        ``sp.end``.
+        """
+        issue, d1, d2 = sol
+        issue_l = issue.tolist()
+        # replay I-line crossings with real fetches; a fetch stall
+        # invalidates the constant-fe assumption from that op on
+        cycle = self.cycle
+        fe_ready = self.fe_ready
+        ifetch = self.ifetch
+        icache_hit = self.icache_hit
+        k_abort = -1
+        lines = sp.lines_l
+        sp_pc = sp.pc_l
+        wl_cur = self.cur_line
+        wl_entry = self.line_entry
+        for k in sp.cross_cand:
+            line = lines[k]
+            if line == wl_cur:
+                continue
+            ec = cycle if k == 0 else issue_l[k - 1]
+            need_at = ec if ec > fe_ready else fe_ready
+            issue_at = (wl_entry if line == wl_cur + 1
+                        else need_at)
+            wl_cur = line
+            done = ifetch(sp_pc[k], issue_at)
+            extra = done - need_at - icache_hit
+            if extra > 0:
+                fe_ready = need_at + extra
+                self.stall_fe += extra
+            wl_entry = fe_ready if fe_ready > ec else ec
+            if extra > 0:
+                k_abort = k
+                break
+        self.fe_ready = fe_ready
+        m = sp.end - sp.start
+        k = m if k_abort < 0 else k_abort
+        if k > 0:
+            reg_ready = self.reg_ready
+            dsts = sp.dst[:k]
+            writer = dsts > 0
+            if writer.any():
+                done_t = issue[:k] + lat_arr[:k]
+                wr = np.full(NUM_REGS, -np.inf)
+                wr[dsts[writer]] = done_t[writer]
+                for r in np.nonzero(wr > -np.inf)[0].tolist():
+                    reg_ready[r] = float(wr[r])
+            ds = float(d1[:k].sum() + d2[:k].sum())
+            if ds:
+                self.stall_dep += ds
+            new_cycle = issue_l[k - 1]
+            same = int(np.count_nonzero(issue[:k] == new_cycle))
+            if new_cycle == cycle:
+                self.slots += same
+            else:
+                self.slots = same
+                self.mem_used = 0
+                self.ctrl_used = 0
+            self.cycle = new_cycle
+            self.fast_uops += k
+            self.i += k
+        self.cur_line = wl_cur
+        self.line_entry = wl_entry
+        if k_abort < 0:
+            self.span_done += 1
+            return True
+        self.span_fehaz += 1
+        return False
+
+    def scalar_to(self, limit: int) -> None:
+        """Transliterated scalar loop over ``[i, limit)``.
+
+        State lives in locals for the duration (the hot loop), loading
+        from and storing back to the instance at the call boundaries.
+        """
+        i = self.i
+        if limit <= i:
+            return
+        self.slow_uops += limit - i
+        op_l = self.op_l
+        dst_l = self.dst_l
+        s1_l = self.s1_l
+        s2_l = self.s2_l
+        addr_l = self.addr_l
+        size_l = self.size_l
+        taken_l = self.taken_l
+        pc_l = self.pc_l
+        tgt_l = self.tgt_l
+        lat_list = self.lat_list
+        dload = self.dload
+        dstore = self.dstore
+        ifetch = self.ifetch
+        resolve = self.resolve
+        reg_ready = self.reg_ready
+        sb = self.sb
+        vcfg = self.vcfg
+        vu_free = self.vu_free
+        cycle = self.cycle
+        slots = self.slots
+        mem_used = self.mem_used
+        ctrl_used = self.ctrl_used
+        fe_ready = self.fe_ready
+        cur_line = self.cur_line
+        line_entry = self.line_entry
+        div_free = self.div_free
+        stall_fe = self.stall_fe
+        stall_dep = self.stall_dep
+        stall_mem = self.stall_mem
+        stall_struct = self.stall_struct
+        sb_depth = self.sb_depth
+        flush_pen = self.flush_pen
+        bubble_pen = self.bubble_pen
+        icache_hit = self.icache_hit
+        W = self.W
+        mem_ports = self.mem_ports
+        pipelined_div = self.pipelined_div
+        load_to_use = self.load_to_use
+        amo_extra = self.amo_extra
+        try:
+            for i in range(i, limit):
+                op = op_l[i]
+                pc = pc_l[i]
+
+                line = pc >> 6
+                if line != cur_line:
+                    need_at = cycle if cycle > fe_ready else fe_ready
+                    issue_at = (line_entry if line == cur_line + 1
+                                else need_at)
+                    cur_line = line
+                    done = ifetch(pc, issue_at)
+                    extra = done - need_at - icache_hit
+                    if extra > 0:
+                        fe_ready = need_at + extra
+                        stall_fe += extra
+                    line_entry = fe_ready if fe_ready > cycle else cycle
+
+                t = cycle
+                if fe_ready > t:
+                    t = fe_ready
+                s1 = s1_l[i]
+                if s1 > 0:
+                    r = reg_ready[s1]
+                    if r > t:
+                        stall_dep += r - t
+                        t = r
+                s2 = s2_l[i]
+                if s2 > 0:
+                    r = reg_ready[s2]
+                    if r > t:
+                        stall_dep += r - t
+                        t = r
+
+                if op == 3 and not pipelined_div and div_free > t:
+                    stall_struct += div_free - t
+                    t = div_free
+                if 20 <= op <= 23:
+                    if vcfg is None:
+                        raise ValueError(
+                            "trace contains RVV vector ops but this "
+                            "core has no vector unit "
+                            "(InOrderConfig.vector is None)"
+                        )
+                    if vu_free > t:
+                        stall_struct += vu_free - t
+                        t = vu_free
+
+                if t > cycle:
+                    cycle = t
+                    slots = 0
+                    mem_used = 0
+                    ctrl_used = 0
+                is_mem = (op == 4 or op == 5 or op == 19
+                          or op == 20 or op == 21)
+                is_ctrl = 6 <= op <= 9
+                while (slots >= W
+                       or (is_mem and mem_used >= mem_ports)
+                       or (is_ctrl and ctrl_used >= 1)):
+                    cycle += 1
+                    slots = 0
+                    mem_used = 0
+                    ctrl_used = 0
+                t = cycle
+                slots += 1
+                if is_mem:
+                    mem_used += 1
+                if is_ctrl:
+                    ctrl_used += 1
+
+                dst = dst_l[i]
+                if op == 4:  # LOAD
+                    done = dload(addr_l[i], t + 1)
+                    if dst > 0:
+                        reg_ready[dst] = done + load_to_use
+                elif op == 5:  # STORE
+                    while sb and sb[0] <= t:
+                        sb.popleft()
+                    if len(sb) >= sb_depth:
+                        wait = sb.popleft()
+                        if wait > t:
+                            stall_mem += wait - t
+                            cycle = wait
+                            slots = 1
+                            mem_used = 1
+                            ctrl_used = 0
+                            t = wait
+                    done = dstore(addr_l[i], t + 1)
+                    sb.append(done)
+                elif op == 19:  # AMO
+                    done = dstore(addr_l[i], t + 1) + amo_extra
+                    if dst > 0:
+                        reg_ready[dst] = done
+                elif op == 20 or op == 21:  # VLOAD / VSTORE
+                    nbytes = size_l[i]
+                    base_addr = addr_l[i]
+                    is_st = op == 21
+                    done = t + 1
+                    macc = dstore if is_st else dload
+                    for off in range(0, nbytes, 64):
+                        acc = macc(base_addr + off, t + 1)
+                        if acc > done:
+                            done = acc
+                    occ = vcfg.startup + vcfg.mem_beats(nbytes)
+                    vu_free = t + occ
+                    if dst > 0 and not is_st:
+                        reg_ready[dst] = max(done, t + occ)
+                elif op == 22 or op == 23:  # VALU / VFMA
+                    occ = vcfg.startup + vcfg.exec_beats(size_l[i] * 8)
+                    vu_free = t + occ
+                    if dst > 0:
+                        reg_ready[dst] = t + occ + lat_list[op] - 1
+                elif is_ctrl:
+                    kind = resolve(op, pc, taken_l[i], tgt_l[i])
+                    if kind == 2:
+                        fe_ready = t + 1 + flush_pen
+                    elif kind == 1:
+                        fe_ready = t + 1 + bubble_pen
+                    if dst > 0:
+                        reg_ready[dst] = t + 1
+                else:
+                    l = lat_list[op]
+                    if dst > 0:
+                        reg_ready[dst] = t + l
+                    if op == 3 and not pipelined_div:
+                        div_free = t + l
+            i = limit
+        finally:
+            # on an exception (vector op on a vector-less core) the
+            # reference loses its locals too; counters saved here only
+            # feed the stats flush at close(), matching reference totals
+            self.i = i
+            self.vu_free = vu_free
+            self.cycle = cycle
+            self.slots = slots
+            self.mem_used = mem_used
+            self.ctrl_used = ctrl_used
+            self.fe_ready = fe_ready
+            self.cur_line = cur_line
+            self.line_entry = line_entry
+            self.div_free = div_free
+            self.stall_fe = stall_fe
+            self.stall_dep = stall_dep
+            self.stall_mem = stall_mem
+            self.stall_struct = stall_struct
+
+    def close(self) -> None:
+        """Flush every mirror and counter back to the reference objects."""
+        if self.closed:
+            return
+        self.closed = True
+        self.mem_detach()
+        if self.bru_detach is not None:
+            self.bru_detach()
+        astats = self.core.accel_stats
+        astats.fastpath_uops += self.fast_uops
+        astats.fallback_uops += self.slow_uops
+        astats.spans += self.span_att
+        astats.spans_completed += self.span_done
+        astats.span_aborts += self.span_noconv + self.span_fehaz
+        astats.aborts_no_converge += self.span_noconv
+        astats.aborts_fe_hazard += self.span_fehaz
+        g = memo.global_stats()
+        g.fastpath_uops += self.fast_uops
+        g.fallback_uops += self.slow_uops
+        g.spans += self.span_att
+        g.spans_completed += self.span_done
+        g.aborts_no_converge += self.span_noconv
+        g.aborts_fe_hazard += self.span_fehaz
+
+    def finish(self) -> CoreResult:
+        """Write end-of-run core state back; build the CoreResult."""
+        core = self.core
+        cfg = core.cfg
+        end = self.cycle + cfg.pipeline_depth - 1
+        core._time = self.cycle + 1
+        core._fe_ready = self.fe_ready
+        core._cur_fetch_line = self.cur_line
+        core._div_free = self.div_free
+        core._vu_free = self.vu_free
+        return CoreResult(
+            cycles=end - self.t0,
+            instructions=self.n,
+            stalls={
+                "frontend": self.stall_fe,
+                "dep": self.stall_dep,
+                "mem": self.stall_mem,
+                "structural": self.stall_struct,
+            },
+            branches=self.bst.branches - self.br0,
+            mispredicts=self.bst.mispredicts - self.mp0,
+            l1d_misses=self.l1d_st.misses - self.l1d_miss0,
+            l1i_misses=self.l1i_st.misses - self.l1i_miss0,
+        )
+
 
 class AccelEngine:
     """Drives one :class:`InOrderCore` through the accelerated path."""
@@ -700,450 +1270,39 @@ class AccelEngine:
     def __init__(self, core) -> None:
         self.core = core
 
+    def start(self, trace, start_time: int = 0) -> _InOrderRun:
+        """Attach mirrors and return the stepwise run (batched driver)."""
+        return _InOrderRun(self.core, trace, start_time)
+
     def run(self, trace, start_time: int = 0) -> CoreResult:
-        core = self.core
-        cfg = core.cfg
-        port = core.port
-        uncore = port.uncore
-        bru = core.bru
-        astats = core.accel_stats
-
-        view = memo.trace_arrays(trace)
-        op_l = view["op"]
-        dst_l = view["dst"]
-        s1_l = view["src1"]
-        s2_l = view["src2"]
-        addr_l = view["addr"]
-        size_l = view["size"]
-        taken_l = view["taken"]
-        pc_l = view["pc"]
-        tgt_l = view["target"]
-        spans = view["spans"]
-        n = len(op_l)
-        lat_list, lat_np = memo.latency_lut(cfg.latencies)
-
-        # ---- attach: build the fast call graph over mirrored state ----
-        l2 = uncore.l2
-        below_l2 = l2.next_level
-        l2_access, l2_contains, l2_detach = _mirror_cache(
-            l2, _mirror_dram(below_l2) if type(below_l2) is DRAM
-            else below_l2.access)
-        bus = uncore.bus
-        bus_st = bus.stats
-        bus_tl = bus._timeline
-        bus_starts = bus_tl._starts
-        bus_ends = bus_tl._ends
-        bus_max = bus_tl.max_intervals
-        bus_reserve = bus_tl.reserve
-        line_bytes = uncore._line
-        bus_occ = bus.cfg.beats(line_bytes) / bus.cfg.clock_ratio
-        bus_arb = bus.cfg.arbitration_latency
-        directory = uncore.directory
-        tile_id = port.tile_id
-        if directory is not None:
-            # bus.transfer + SnoopDirectory.observe + L2, fused; the bus
-            # timeline fast-appends monotone arrivals like the bank
-            # timelines in _mirror_cache, falling back to reserve()
-            dst = directory.stats
-            shr = directory._sharers
-            own = directory._owner
-            inv_lat = directory.invalidate_latency
-            max_lines = directory.max_lines
-            dir_prune = directory._prune
-            bit = 1 << tile_id
-
-            def uncore_access(addr, time, is_store):
-                bus_st.transfers += 1
-                t = float(time)
-                if not bus_ends or t >= bus_ends[-1]:
-                    bus_starts.append(t)
-                    bus_ends.append(t + bus_occ)
-                    if len(bus_ends) > bus_max:
-                        drop = len(bus_ends) - bus_max
-                        del bus_starts[:drop]
-                        del bus_ends[:drop]
-                    start = t
-                else:
-                    start = bus_reserve(t, bus_occ)
-                if start > time:
-                    bus_st.contention_cycles += int(start - time)
-                t = int(start + bus_arb + bus_occ)
-                dline = addr // line_bytes
-                extra = 0
-                sharers = shr.get(dline, 0)
-                if is_store:
-                    others = sharers & ~bit
-                    if others:
-                        dst.invalidations += bin(others).count("1")
-                        extra = inv_lat
-                    prev_owner = own.get(dline)
-                    if prev_owner is not None and prev_owner != tile_id:
-                        dst.ownership_changes += 1
-                        if inv_lat > extra:
-                            extra = inv_lat
-                    shr[dline] = bit
-                    own[dline] = tile_id
-                else:
-                    if dline in own and own[dline] != tile_id:
-                        dst.ownership_changes += 1
-                        del own[dline]
-                        extra = inv_lat
-                    shr[dline] = sharers | bit
-                if len(shr) > max_lines:
-                    dir_prune()
-                return l2_access(addr, t + extra, is_store)
-        else:
-            def uncore_access(addr, time, is_store):
-                bus_st.transfers += 1
-                t = float(time)
-                if not bus_ends or t >= bus_ends[-1]:
-                    bus_starts.append(t)
-                    bus_ends.append(t + bus_occ)
-                    if len(bus_ends) > bus_max:
-                        drop = len(bus_ends) - bus_max
-                        del bus_starts[:drop]
-                        del bus_ends[:drop]
-                    start = t
-                else:
-                    start = bus_reserve(t, bus_occ)
-                if start > time:
-                    bus_st.contention_cycles += int(start - time)
-                return l2_access(addr, int(start + bus_arb + bus_occ),
-                                 is_store)
-
-        l1d_access, l1d_contains, l1d_detach = _mirror_cache(
-            port.l1d, uncore_access)
-        l1i_access, _, l1i_detach = _mirror_cache(port.l1i, uncore_access)
-
-        def walker(addr, time):
-            # page-table walks go straight to L2, as TilePort._walker does
-            return l2_access(addr, time, False)
-
-        itlb_translate = _fast_tlb(port.itlb, walker)
-        dtlb_translate = _fast_tlb(port.dtlb, walker)
-
-        pf = port.prefetcher
-        observe = None
-        if pf is not None:
-            if pf.cache is port.l1d:
-                observe = _inline_prefetcher(pf, l1d_contains, l1d_access)
-            elif pf.cache is uncore.l2:
-                observe = _inline_prefetcher(pf, l2_contains, l2_access)
-            else:
-                observe = pf.observe  # foreign cache: no mirror to corrupt
-
-        if observe is None:
-            def dload(addr, time):
-                return l1d_access(addr, dtlb_translate(addr, time), False)
-
-            def dstore(addr, time):
-                return l1d_access(addr, dtlb_translate(addr, time), True)
-        else:
-            def dload(addr, time):
-                t = dtlb_translate(addr, time)
-                done = l1d_access(addr, t, False)
-                observe(addr, t)
-                return done
-
-            def dstore(addr, time):
-                t = dtlb_translate(addr, time)
-                done = l1d_access(addr, t, True)
-                observe(addr, t)
-                return done
-
-        def ifetch(addr, time):
-            return l1i_access(addr, itlb_translate(addr, time), False)
-
-        resolve, bru_detach = _mirror_branch_unit(bru)
-
-        # ---- loop state (identical to the reference prologue) ----
-        reg_ready = core._reg_ready
-        sb = core._sb
-        vcfg = cfg.vector
-        vu_free = core._vu_free
-        cycle = max(start_time, core._time)
-        t0 = cycle
-        slots = 0
-        mem_used = 0
-        ctrl_used = 0
-        fe_ready = max(core._fe_ready, cycle)
-        cur_line = core._cur_fetch_line
-        line_entry = cycle
-        div_free = core._div_free
-        stall_fe = stall_dep = stall_mem = stall_struct = 0
-        l1d_st = port.l1d.stats
-        l1i_st = port.l1i.stats
-        bst = bru.stats
-        l1d_miss0 = l1d_st.misses
-        l1i_miss0 = l1i_st.misses
-        br0 = bst.branches
-        mp0 = bst.mispredicts
-        sb_depth = cfg.store_buffer
-        flush_pen = cfg.flush_penalty
-        bubble_pen = cfg.bubble_penalty
-        icache_hit = core._icache_hit
-        W = cfg.issue_width
-        mem_ports = cfg.mem_ports
-        pipelined_div = cfg.pipelined_div
-        load_to_use = cfg.load_to_use
-        amo_extra = cfg.latencies.amo_extra
-        fast_uops = 0
-        slow_uops = 0
-        span_att = span_done = span_noconv = span_fehaz = 0
-
-        span_idx = 0
+        r = _InOrderRun(self.core, trace, start_time)
+        spans = r.spans
         nspans = len(spans)
-        i = 0
+        span_idx = 0
         try:
-            while i < n:
-                limit = n
+            while r.i < r.n:
+                limit = r.n
                 if span_idx < nspans:
                     sp = spans[span_idx]
-                    if sp.start == i:
+                    if sp.start == r.i:
                         # ---- vectorized span ----
                         span_idx += 1
-                        m = sp.end - sp.start
-                        span_att += 1
-                        lat_arr = lat_np[sp.op]
-                        sol = solve_span(sp, lat_arr, W, cycle, slots,
-                                         fe_ready, reg_ready)
+                        r.span_att += 1
+                        lat_arr = r.lat_np[sp.op]
+                        sol = solve_span(sp, lat_arr, r.W, r.cycle,
+                                         r.slots, r.fe_ready, r.reg_ready)
                         if sol is None:
-                            span_noconv += 1
+                            r.span_noconv += 1
                             limit = sp.end
+                        elif r.commit_span(sp, lat_arr, sol):
+                            continue
                         else:
-                            issue, d1, d2 = sol
-                            issue_l = issue.tolist()
-                            # replay I-line crossings with real fetches;
-                            # a fetch stall invalidates the constant-fe
-                            # assumption from that op on
-                            k_abort = -1
-                            lines = sp.lines_l
-                            sp_pc = sp.pc_l
-                            wl_cur = cur_line
-                            wl_entry = line_entry
-                            for k in sp.cross_cand:
-                                line = lines[k]
-                                if line == wl_cur:
-                                    continue
-                                ec = cycle if k == 0 else issue_l[k - 1]
-                                need_at = ec if ec > fe_ready else fe_ready
-                                issue_at = (wl_entry if line == wl_cur + 1
-                                            else need_at)
-                                wl_cur = line
-                                done = ifetch(sp_pc[k], issue_at)
-                                extra = done - need_at - icache_hit
-                                if extra > 0:
-                                    fe_ready = need_at + extra
-                                    stall_fe += extra
-                                wl_entry = fe_ready if fe_ready > ec else ec
-                                if extra > 0:
-                                    k_abort = k
-                                    break
-                            k = m if k_abort < 0 else k_abort
-                            if k > 0:
-                                dsts = sp.dst[:k]
-                                writer = dsts > 0
-                                if writer.any():
-                                    done_t = issue[:k] + lat_arr[:k]
-                                    wr = np.full(NUM_REGS, -np.inf)
-                                    wr[dsts[writer]] = done_t[writer]
-                                    for r in np.nonzero(
-                                            wr > -np.inf)[0].tolist():
-                                        reg_ready[r] = float(wr[r])
-                                ds = float(d1[:k].sum() + d2[:k].sum())
-                                if ds:
-                                    stall_dep += ds
-                                new_cycle = issue_l[k - 1]
-                                same = int(np.count_nonzero(
-                                    issue[:k] == new_cycle))
-                                if new_cycle == cycle:
-                                    slots += same
-                                else:
-                                    slots = same
-                                    mem_used = 0
-                                    ctrl_used = 0
-                                cycle = new_cycle
-                                fast_uops += k
-                                i += k
-                            cur_line = wl_cur
-                            line_entry = wl_entry
-                            if k_abort < 0:
-                                span_done += 1
-                                continue
-                            span_fehaz += 1
                             limit = sp.end
-                            if i >= limit:
+                            if r.i >= limit:
                                 continue
                     else:
                         limit = sp.start
-
-                # ---- scalar fast loop over [i, limit) ----
-                slow_uops += limit - i
-                for i in range(i, limit):
-                    op = op_l[i]
-                    pc = pc_l[i]
-
-                    line = pc >> 6
-                    if line != cur_line:
-                        need_at = cycle if cycle > fe_ready else fe_ready
-                        issue_at = (line_entry if line == cur_line + 1
-                                    else need_at)
-                        cur_line = line
-                        done = ifetch(pc, issue_at)
-                        extra = done - need_at - icache_hit
-                        if extra > 0:
-                            fe_ready = need_at + extra
-                            stall_fe += extra
-                        line_entry = fe_ready if fe_ready > cycle else cycle
-
-                    t = cycle
-                    if fe_ready > t:
-                        t = fe_ready
-                    s1 = s1_l[i]
-                    if s1 > 0:
-                        r = reg_ready[s1]
-                        if r > t:
-                            stall_dep += r - t
-                            t = r
-                    s2 = s2_l[i]
-                    if s2 > 0:
-                        r = reg_ready[s2]
-                        if r > t:
-                            stall_dep += r - t
-                            t = r
-
-                    if op == 3 and not pipelined_div and div_free > t:
-                        stall_struct += div_free - t
-                        t = div_free
-                    if 20 <= op <= 23:
-                        if vcfg is None:
-                            raise ValueError(
-                                "trace contains RVV vector ops but this "
-                                "core has no vector unit "
-                                "(InOrderConfig.vector is None)"
-                            )
-                        if vu_free > t:
-                            stall_struct += vu_free - t
-                            t = vu_free
-
-                    if t > cycle:
-                        cycle = t
-                        slots = 0
-                        mem_used = 0
-                        ctrl_used = 0
-                    is_mem = (op == 4 or op == 5 or op == 19
-                              or op == 20 or op == 21)
-                    is_ctrl = 6 <= op <= 9
-                    while (slots >= W
-                           or (is_mem and mem_used >= mem_ports)
-                           or (is_ctrl and ctrl_used >= 1)):
-                        cycle += 1
-                        slots = 0
-                        mem_used = 0
-                        ctrl_used = 0
-                    t = cycle
-                    slots += 1
-                    if is_mem:
-                        mem_used += 1
-                    if is_ctrl:
-                        ctrl_used += 1
-
-                    dst = dst_l[i]
-                    if op == 4:  # LOAD
-                        done = dload(addr_l[i], t + 1)
-                        if dst > 0:
-                            reg_ready[dst] = done + load_to_use
-                    elif op == 5:  # STORE
-                        while sb and sb[0] <= t:
-                            sb.popleft()
-                        if len(sb) >= sb_depth:
-                            wait = sb.popleft()
-                            if wait > t:
-                                stall_mem += wait - t
-                                cycle = wait
-                                slots = 1
-                                mem_used = 1
-                                ctrl_used = 0
-                                t = wait
-                        done = dstore(addr_l[i], t + 1)
-                        sb.append(done)
-                    elif op == 19:  # AMO
-                        done = dstore(addr_l[i], t + 1) + amo_extra
-                        if dst > 0:
-                            reg_ready[dst] = done
-                    elif op == 20 or op == 21:  # VLOAD / VSTORE
-                        nbytes = size_l[i]
-                        base_addr = addr_l[i]
-                        is_st = op == 21
-                        done = t + 1
-                        macc = dstore if is_st else dload
-                        for off in range(0, nbytes, 64):
-                            acc = macc(base_addr + off, t + 1)
-                            if acc > done:
-                                done = acc
-                        occ = vcfg.startup + vcfg.mem_beats(nbytes)
-                        vu_free = t + occ
-                        if dst > 0 and not is_st:
-                            reg_ready[dst] = max(done, t + occ)
-                    elif op == 22 or op == 23:  # VALU / VFMA
-                        occ = vcfg.startup + vcfg.exec_beats(size_l[i] * 8)
-                        vu_free = t + occ
-                        if dst > 0:
-                            reg_ready[dst] = t + occ + lat_list[op] - 1
-                    elif is_ctrl:
-                        kind = resolve(op, pc, taken_l[i], tgt_l[i])
-                        if kind == 2:
-                            fe_ready = t + 1 + flush_pen
-                        elif kind == 1:
-                            fe_ready = t + 1 + bubble_pen
-                        if dst > 0:
-                            reg_ready[dst] = t + 1
-                    else:
-                        l = lat_list[op]
-                        if dst > 0:
-                            reg_ready[dst] = t + l
-                        if op == 3 and not pipelined_div:
-                            div_free = t + l
-                i = limit
+                r.scalar_to(limit)
         finally:
-            l1i_detach()
-            l1d_detach()
-            l2_detach()
-            if bru_detach is not None:
-                bru_detach()
-            astats.fastpath_uops += fast_uops
-            astats.fallback_uops += slow_uops
-            astats.spans += span_att
-            astats.spans_completed += span_done
-            astats.span_aborts += span_noconv + span_fehaz
-            astats.aborts_no_converge += span_noconv
-            astats.aborts_fe_hazard += span_fehaz
-            g = memo.global_stats()
-            g.fastpath_uops += fast_uops
-            g.fallback_uops += slow_uops
-            g.spans += span_att
-            g.spans_completed += span_done
-            g.aborts_no_converge += span_noconv
-            g.aborts_fe_hazard += span_fehaz
-
-        end = cycle + cfg.pipeline_depth - 1
-        core._time = cycle + 1
-        core._fe_ready = fe_ready
-        core._cur_fetch_line = cur_line
-        core._div_free = div_free
-        core._vu_free = vu_free
-
-        return CoreResult(
-            cycles=end - t0,
-            instructions=n,
-            stalls={
-                "frontend": stall_fe,
-                "dep": stall_dep,
-                "mem": stall_mem,
-                "structural": stall_struct,
-            },
-            branches=bst.branches - br0,
-            mispredicts=bst.mispredicts - mp0,
-            l1d_misses=l1d_st.misses - l1d_miss0,
-            l1i_misses=l1i_st.misses - l1i_miss0,
-        )
+            r.close()
+        return r.finish()

@@ -36,7 +36,8 @@ import numpy as np
 from repro.isa.opcodes import OpClass
 
 __all__ = ["SPAN_ELIGIBLE", "MIN_SPAN", "Span", "build_spans",
-           "segment_spans", "solve_span", "span_diagnostics"]
+           "segment_spans", "solve_span", "solve_span_batch",
+           "span_diagnostics"]
 
 #: ops the generic timing rule covers: no memory port, no branch unit,
 #: no divider interlock, no vector unit occupancy
@@ -234,3 +235,71 @@ def solve_span(span: Span, lat: np.ndarray, width: int, cycle,
     t_mid = np.where(s1pos, np.maximum(t0, r1_eff), t0)
     d2 = np.where(s2pos, np.maximum(r2_eff - t_mid, 0.0), 0.0)
     return issue, d1, d2
+
+
+def solve_span_batch(span: Span, lats, widths, cycles, slots_ins,
+                     fe_readys, reg_readys) -> list:
+    """Solve one span's issue schedule for *C* configurations at once.
+
+    The span layout is a pure function of the trace's op column, so
+    every config of a batched sweep reaches the same span boundaries;
+    only the timing inputs differ.  Those inputs become a leading config
+    axis: *lats* is a ``(C, m)`` per-op latency stack (configs may carry
+    different :class:`~repro.isa.opcodes.LatencyTable`\\ s), *widths* /
+    *cycles* / *slots_ins* / *fe_readys* are per-config scalars, and
+    *reg_readys* the per-config live scoreboards.
+
+    The fixed point runs on the whole ``(C, m)`` batch.  Per-row
+    convergence is tracked exactly as :func:`solve_span` does per call:
+    a converged row is a fixed point of the iteration map, so extra
+    applications leave it unchanged and the batch result equals the solo
+    result value-for-value.  Returns a list of per-config
+    ``(issue, d1, d2)`` rows, with ``None`` for rows that did not
+    converge within the cap (those configs fall back to the scalar
+    engine, exactly as a solo run would).
+    """
+    C = len(lats)
+    s1, s2 = span.s1, span.s2
+    p1, p2 = span.prod1, span.prod2
+    m = len(s1)
+    s1pos, s2pos = s1 > 0, s2 > 0
+    rr = np.asarray(reg_readys, dtype=np.float64)          # (C, NUM_REGS)
+    no_p1 = (s1pos & (p1 < 0))[None, :]
+    no_p2 = (s2pos & (p2 < 0))[None, :]
+    carry1 = np.where(no_p1, rr[:, s1], 0.0)               # (C, m)
+    carry2 = np.where(no_p2, rr[:, s2], 0.0)
+    sp1, sp2 = np.clip(p1, 0, None), np.clip(p2, 0, None)
+    use_p1 = (s1pos & (p1 >= 0))[None, :]
+    use_p2 = (s2pos & (p2 >= 0))[None, :]
+    lat = np.asarray(lats, dtype=np.float64)               # (C, m)
+    W = np.asarray(widths, dtype=np.float64)[:, None]      # (C, 1)
+    cyc = np.asarray(cycles, dtype=np.float64)[:, None]    # (C, 1)
+    e = (np.asarray(slots_ins, dtype=np.float64)[:, None]
+         + np.arange(m, dtype=np.float64)[None, :])        # (C, m)
+    seed = W * cyc
+    fe = np.asarray(fe_readys, dtype=np.float64)[:, None]  # (C, 1)
+    issue = np.broadcast_to(cyc, (C, m)).copy()
+    conv = np.zeros(C, dtype=bool)
+    r1_eff = r2_eff = None
+    for _ in range(_MAX_ITER):
+        done = issue + lat
+        r1_eff = np.where(use_p1, done[:, sp1], carry1)
+        r2_eff = np.where(use_p2, done[:, sp2], carry2)
+        ready = np.maximum(fe, np.maximum(np.where(s1pos, r1_eff, 0.0),
+                                          np.where(s2pos, r2_eff, 0.0)))
+        nxt = (np.maximum(seed,
+                          np.maximum.accumulate(W * ready - e, axis=1))
+               + e) // W
+        conv = np.all(nxt == issue, axis=1)
+        if conv.all():
+            break
+        issue = nxt
+    prev_issue = np.empty((C, m))
+    prev_issue[:, 0] = cyc[:, 0]
+    prev_issue[:, 1:] = issue[:, :-1]
+    t0 = np.maximum(prev_issue, fe)
+    d1 = np.where(s1pos, np.maximum(r1_eff - t0, 0.0), 0.0)
+    t_mid = np.where(s1pos, np.maximum(t0, r1_eff), t0)
+    d2 = np.where(s2pos, np.maximum(r2_eff - t_mid, 0.0), 0.0)
+    return [(issue[c], d1[c], d2[c]) if conv[c] else None
+            for c in range(C)]

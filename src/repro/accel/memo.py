@@ -233,8 +233,10 @@ def memo_put(key: tuple, payload) -> None:
 def clear_caches() -> None:
     """Drop every in-process cache (benchmarks call this between timed
     passes so a measurement never feeds on an earlier pass's work)."""
+    from .compile import clear_compiled
     _digests.clear()
     _arrays.clear()
     _traces.clear()
     _memo.clear()
     _lat_luts.clear()
+    clear_compiled()

@@ -66,6 +66,9 @@ class AccelGlobalStats:
     memo_misses: int = 0
     trace_cache_hits: int = 0
     trace_cache_misses: int = 0
+    #: compiled-trace fetches served by / missed in a shared result store
+    compile_store_hits: int = 0
+    compile_store_misses: int = 0
     decode_hits: int = 0
     decode_misses: int = 0
     fastpath_uops: int = 0

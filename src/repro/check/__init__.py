@@ -16,8 +16,8 @@ for the CLI entry point.
 
 from .chaos import diff_chaos
 from .golden import CANONICAL_NAN_BITS, GoldenMachine
-from .oracle import (Divergence, diff_accel, diff_checkpoint, diff_farm,
-                     diff_golden, lint_invariants, run_program)
+from .oracle import (Divergence, diff_accel, diff_batch, diff_checkpoint,
+                     diff_farm, diff_golden, lint_invariants, run_program)
 from .progen import BLOCK_KINDS, CheckProgram, generate_program
 from .runner import ALL_TIERS, CheckReport, run_check
 from .shrink import (CORPUS_DIR, load_corpus, replay_entries, shrink_program,
@@ -33,6 +33,7 @@ __all__ = [
     "Divergence",
     "GoldenMachine",
     "diff_accel",
+    "diff_batch",
     "diff_chaos",
     "diff_checkpoint",
     "diff_farm",

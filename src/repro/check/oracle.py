@@ -41,6 +41,7 @@ from .progen import CheckProgram
 __all__ = [
     "Divergence",
     "diff_accel",
+    "diff_batch",
     "diff_checkpoint",
     "diff_farm",
     "diff_golden",
@@ -152,15 +153,17 @@ def _strip_accel(snapdata: dict) -> dict:
     return data
 
 
-def _dict_diff(a: dict, b: dict, prefix: str = "") -> list[str]:
+def _dict_diff(a: dict, b: dict, prefix: str = "",
+               labels: tuple[str, str] = ("on", "off")) -> list[str]:
+    la, lb = labels
     out: list[str] = []
     for k in sorted(set(a) | set(b)):
         ka, kb = a.get(k), b.get(k)
         path = f"{prefix}.{k}" if prefix else str(k)
         if isinstance(ka, dict) and isinstance(kb, dict):
-            out += _dict_diff(ka, kb, path)
+            out += _dict_diff(ka, kb, path, labels)
         elif ka != kb:
-            out.append(f"{path}: on={ka!r} off={kb!r}")
+            out.append(f"{path}: {la}={ka!r} {lb}={kb!r}")
     return out
 
 
@@ -344,6 +347,81 @@ def _lint_stream(records: list[dict], config_name: str) -> list[str]:
 
 
 # -- tier 4: farm vs serial --------------------------------------------------
+
+
+# -- batch tier: config-batched sweep vs serial per-config jobs -------------
+
+
+def diff_batch(kernel: str, config_names: Sequence[str] | None = None,
+               seed: int = 0, scale: float = 0.3,
+               resume: bool = True) -> list[str]:
+    """Config-batched sweep vs serial per-config jobs, bit-for-bit.
+
+    Three legs over the same (kernel, scale, seed) and config set, with
+    every in-process cache cleared between them so memoization can never
+    mask a divergence:
+
+    1. *serial*: one ``Job.kernel`` per config through
+       :func:`~repro.farm.job.execute_job` — the farm's ordinary path.
+    2. *batched*: one ``Job.sweep`` over all configs — the compiled
+       trace is shared and the in-order configs solve each span in a
+       single config-vectorized call.
+    3. *resume* (on by default): the batched job again, but killed by an
+       injected worker fault after half the configs and restarted from
+       its mid-run checkpoint.
+
+    Every per-config payload must agree across all legs.
+    """
+    import json as _json
+    import tempfile
+
+    from ..accel import memo
+    from ..farm.job import ExecContext, Job, execute_job
+    from ..reliability.faults import Fault, FaultInjected
+    from ..soc.presets import ALL_CONFIGS, get_config
+
+    names = sorted(ALL_CONFIGS) if config_names is None else list(config_names)
+    configs = [get_config(n) for n in names]
+    diffs: list[str] = []
+
+    memo.clear_caches()
+    serial = {}
+    for cfg in configs:
+        payload = execute_job(Job.kernel(cfg, kernel, scale=scale, seed=seed))
+        serial[cfg.name] = _json.loads(_json.dumps(payload))
+
+    sweep_job = Job.sweep(configs, kernel, scale=scale, seed=seed)
+    memo.clear_caches()
+    batched = execute_job(sweep_job)["points"]
+
+    for name in names:
+        for line in _dict_diff(batched[name], serial[name],
+                               labels=("batched", "serial")):
+            diffs.append(f"{name}: {line}")
+
+    if resume and len(configs) > 1:
+        kill_at = max(1, len(configs) // 2)
+        fault = Fault("kill", (("after", kill_at),))
+        with tempfile.TemporaryDirectory() as ckpt_dir:
+            memo.clear_caches()
+            ctx = ExecContext(fault=fault, checkpoint_dir=ckpt_dir,
+                              checkpoint_every=1, in_process=True)
+            try:
+                execute_job(sweep_job, ctx=ctx)
+                diffs.append("resume: injected kill fault did not fire")
+            except FaultInjected:
+                pass
+            memo.clear_caches()
+            ctx2 = ExecContext(checkpoint_dir=ckpt_dir, in_process=True)
+            resumed = execute_job(sweep_job, ctx=ctx2)["points"]
+            if not ctx2.meta.get("resumed"):
+                diffs.append("resume: retry did not pick up the checkpoint")
+            for name in names:
+                for line in _dict_diff(resumed[name], batched[name],
+                                       labels=("resumed", "batched")):
+                    diffs.append(f"{name}: {line}")
+
+    return diffs
 
 
 def diff_farm(progs: Iterable[CheckProgram],

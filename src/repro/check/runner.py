@@ -10,6 +10,9 @@ configuration and every tier still gets exercised:
 * ``accel``: every seed on a rotating pair drawn from ALL_CONFIGS, so
   ``seeds >= len(ALL_CONFIGS)/2`` covers every configuration; pass
   ``accel_all=True`` (CLI ``--accel-all``) to run all configs per seed.
+* ``batch``: strided on its own offset — the config-batched sweep
+  engine against serial per-config jobs (including a killed-and-resumed
+  batched leg), on a seed-rotated microbench kernel and config pair.
 * ``checkpoint``: every ``checkpoint_every``-th seed.
 * ``instrument``: same stride, offset by half, so the instrumented
   bit-identity proof exercises different seeds than ``checkpoint``.
@@ -31,17 +34,17 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from .chaos import diff_chaos
-from .oracle import (Divergence, diff_accel, diff_checkpoint, diff_farm,
-                     diff_golden, diff_instrument, lint_invariants,
-                     run_program)
+from .oracle import (Divergence, diff_accel, diff_batch, diff_checkpoint,
+                     diff_farm, diff_golden, diff_instrument,
+                     lint_invariants, run_program)
 from .progen import CheckProgram, generate_program
 from .shrink import (category_predicate, diff_category, shrink_program,
                      write_corpus_entry)
 
 __all__ = ["CheckReport", "run_check", "ALL_TIERS"]
 
-ALL_TIERS = ("golden", "lint", "accel", "checkpoint", "instrument", "farm",
-             "chaos")
+ALL_TIERS = ("golden", "lint", "accel", "batch", "checkpoint", "instrument",
+             "farm", "chaos")
 
 
 @dataclass
@@ -157,6 +160,22 @@ def run_check(seeds: int = 25, start_seed: int = 0,
             if found and shrink:
                 report.corpus_files.append(_shrink_accel(
                     prog, found[0], corpus_dir, say))
+
+        # strided on its own offset; rotates kernel and config pair per
+        # invocation so repeated CI runs walk the whole cross product.
+        # The batch oracle runs on microbench kernels (the sweep engine's
+        # domain), not on the generated program — the seed picks which.
+        if ("batch" in tiers
+                and n % checkpoint_every == checkpoint_every - 1):
+            from ..workloads.microbench import runnable_kernels
+            kernel_names = [k.spec.name for k in runnable_kernels()]
+            kname = kernel_names[seed % len(kernel_names)]
+            i = (2 * n) % len(all_names)
+            pair = [all_names[i], all_names[(i + 1) % len(all_names)]]
+            tier_count["batch"] += 1
+            report.divergences += _safe(
+                "batch", seed,
+                lambda: diff_batch(kname, config_names=pair, seed=seed))
 
         if "checkpoint" in tiers and n % checkpoint_every == 0:
             tier_count["checkpoint"] += 1

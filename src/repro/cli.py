@@ -43,10 +43,13 @@ Commands
 ``replay FILE [--verify]``
     Resume a saved checkpoint to completion; ``--verify`` re-runs
     uninterrupted from scratch and asserts bit-identical results.
-``bench [--config CFG] [--scale S] [--out FILE]``
+``bench [--config CFG] [--scale S] [--batched] [--out FILE]``
     Time the microbench sweep with ``accel`` off then on plus the
     functional interpreter, verify bit-identity, and write the tracked
     ``BENCH_<n>.json`` record (see ``docs/performance.md``).
+    ``--batched`` adds the (kernel x ALL_CONFIGS) sweep timed
+    serial-per-config versus config-batched, with its own bit-identity
+    flag.
 ``serve [--spool DIR] [--deploy SPEC] [--quota N] [--tenant-quota T=N]``
     Run the long-lived farm service: multi-tenant named queues with
     integer priorities, per-tenant quotas and fair scheduling in front
@@ -75,11 +78,11 @@ Commands
     finishes bit-identical to an uninterrupted run.
 ``check [--seeds N] [--tiers T,U] [--accel-all] [--no-shrink]``
     Property-based differential checking: fuzz generated RISC-V programs
-    through the interpreter-vs-golden, accel on/off, checkpoint/restore,
-    instrumented-vs-bare, farm-vs-serial, and chaos (serve layer under
-    seeded faults, crash + recovery) oracles plus the telemetry
-    invariant lint; shrink any divergence into ``tests/check/corpus/``
-    (see ``docs/checking.md``).
+    through the interpreter-vs-golden, accel on/off, batched-vs-serial
+    config sweeps, checkpoint/restore, instrumented-vs-bare,
+    farm-vs-serial, and chaos (serve layer under seeded faults, crash +
+    recovery) oracles plus the telemetry invariant lint; shrink any
+    divergence into ``tests/check/corpus/`` (see ``docs/checking.md``).
 """
 
 from __future__ import annotations
@@ -296,8 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--kernels", default=None,
                    help="comma-separated kernel names "
                         "(default: the full runnable suite)")
+    b.add_argument("--batched", action="store_true",
+                   help="also time the (kernel x ALL_CONFIGS) sweep "
+                        "serial-per-config vs config-batched")
     b.add_argument("--out", default=None, metavar="FILE",
-                   help="write the benchmark record here (e.g. BENCH_4.json)")
+                   help="write the benchmark record here (e.g. BENCH_5.json)")
     b.add_argument("--json", action="store_true",
                    help="print the full record as JSON instead of a summary")
 
@@ -787,7 +793,8 @@ def main(argv: list[str] | None = None) -> int:
         kernels = ([k for k in args.kernels.split(",") if k]
                    if args.kernels else None)
         record = run_bench(get_config(args.config), scale=args.scale,
-                           seed=args.seed, kernels=kernels)
+                           seed=args.seed, kernels=kernels,
+                           batched=args.batched)
         if args.json:
             print(json.dumps(record, indent=2))
         else:
@@ -807,6 +814,13 @@ def main(argv: list[str] | None = None) -> int:
                       f"{elig:.1%} of uops span-eligible, "
                       f"{sp['runs_below_min_span']} runs below min span, "
                       f"hazard deciles {sp['hazard_density']}")
+            bt = record.get("batched")
+            if bt:
+                print(f"batched {bt['kernels']} kernels x "
+                      f"{len(bt['configs'])} configs: serial "
+                      f"{bt['serial_seconds']}s, batched "
+                      f"{bt['batched_seconds']}s, speedup x{bt['speedup']}, "
+                      f"{'bit-identical' if bt['identical'] else 'DIVERGED'}")
             print(f"interp {it['instructions']:,} instructions in "
                   f"{it['seconds']}s "
                   f"({it['instructions_per_second']:,} inst/s, "
@@ -814,7 +828,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.out:
             write_bench_json(record, args.out)
             print(f"wrote {args.out}")
-        return 0 if record["suite"]["identical"] else 1
+        ok = record["suite"]["identical"]
+        if "batched" in record:
+            ok = ok and record["batched"]["identical"]
+        return 0 if ok else 1
 
     if args.command == "serve":
         import asyncio

@@ -63,11 +63,18 @@ class OoOCore(CoreModel):
     """BOOM-like out-of-order core."""
 
     def __init__(self, cfg: OoOConfig, port, branch_unit: BranchUnit | None = None,
-                 icache_hit_latency: int = 1) -> None:
+                 icache_hit_latency: int = 1, accel: bool = False) -> None:
         self.cfg = cfg
         self.port = port
         self.bru = branch_unit if branch_unit is not None else boom_branch_unit()
         self._icache_hit = icache_hit_latency
+        # accelerated engine (repro.accel): bit-identical transliteration
+        # over compiled trace columns, built lazily on first run so
+        # reference-only cores never touch the mirror layer
+        self._accel_on = accel
+        self._accel = None
+        from ..accel.stats import AccelStats
+        self.accel_stats = AccelStats()
         self.reset()
 
     def reset(self) -> None:
@@ -105,6 +112,11 @@ class OoOCore(CoreModel):
     # -- main loop ---------------------------------------------------------
 
     def run(self, trace: Trace, start_time: int = 0) -> CoreResult:
+        if self._accel_on and hasattr(self.port, "uncore"):
+            if self._accel is None:
+                from ..accel.ooo import OoOAccelEngine
+                self._accel = OoOAccelEngine(self)
+            return self._accel.run(trace, start_time)
         cfg = self.cfg
         lat = cfg.latencies
         port = self.port

@@ -25,7 +25,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..soc.config import SoCConfig
 
@@ -66,7 +66,7 @@ class Job:
     """One independent simulation: config + workload + ranks + seed."""
 
     config: SoCConfig
-    kind: str                   #: "kernel" | "npb" | "selftest" | "checkprog"
+    kind: str                   #: "kernel" | "sweep" | "npb" | "selftest" | "checkprog"
     workload: str               #: kernel name / NPB benchmark / selftest mode
     seed: int = 0
     ranks: int = 1
@@ -108,6 +108,35 @@ class Job:
             if chunk is not None:
                 params.append(("chunk", int(chunk)))
         return cls(config=config, kind="kernel", workload=name, seed=seed,
+                   params=tuple(sorted(params)), timeout_s=timeout_s)
+
+    @classmethod
+    def sweep(cls, configs: Sequence[SoCConfig], name: str,
+              scale: float = 1.0, seed: int = 0, warmup: bool = True,
+              timeout_s: float | None = None) -> "Job":
+        """One config-batched kernel sweep: every config, one compiled trace.
+
+        The worker runs :func:`repro.accel.batch.batched_sweep` — the
+        trace is compiled once and all configurations are evaluated over
+        it in a single config-vectorized pass.  The payload maps config
+        name to exactly the payload the matching ``Job.kernel`` would
+        produce (the ``batch`` check tier enforces this bit-for-bit).
+        Config names must be unique: they key the payload and the
+        per-config checkpoint/resume bookkeeping.
+        """
+        configs = tuple(configs)
+        if not configs:
+            raise ValueError("sweep needs at least one config")
+        names = [c.name for c in configs]
+        dup = {n for n in names if names.count(n) > 1}
+        if dup:
+            raise ValueError(
+                f"sweep configs must have unique names, got duplicates: "
+                f"{sorted(dup)}")
+        params: list[tuple[str, Any]] = [
+            ("scale", float(scale)), ("warmup", bool(warmup)),
+            ("configs", configs)]
+        return cls(config=configs[0], kind="sweep", workload=name, seed=seed,
                    params=tuple(sorted(params)), timeout_s=timeout_s)
 
     @classmethod
@@ -161,6 +190,9 @@ class Job:
 
     @property
     def label(self) -> str:
+        if self.kind == "sweep":
+            nconf = len(self.param("configs", ()))
+            return f"{self.workload}@sweep[{nconf}]"
         return f"{self.workload}@{self.config.name}" + (
             f"x{self.ranks}" if self.ranks > 1 else "")
 
@@ -172,12 +204,20 @@ class Job:
         contents are included, not just the config *name*, which is what
         keeps swept/composed variants (``Rocket1[4]``) distinct.
         """
+        params: dict[str, Any] = {}
+        for k, v in self.params:
+            if (isinstance(v, tuple) and v
+                    and all(dataclasses.is_dataclass(c) for c in v)):
+                # sweep config tuples: hash their full contents, not the
+                # (unserializable, repr-unstable) dataclass objects
+                v = [dataclasses.asdict(c) for c in v]
+            params[k] = v
         return {
             "kind": self.kind,
             "workload": self.workload,
             "seed": self.seed,
             "ranks": self.ranks,
-            "params": dict(self.params),
+            "params": params,
             "config": dataclasses.asdict(self.config),
         }
 
@@ -355,17 +395,40 @@ def _run_kernel_job_inner(job: Job, attempt: int, ctx: ExecContext,
             except OSError:
                 pass
 
+    payload = kernel_payload(cfg, kern, job.seed, scale, registry, base,
+                             result, system, quantum=quantum)
+    if mkey is not None:
+        memo.memo_put(mkey, payload)
+    return payload
+
+
+def kernel_payload(cfg, kern, seed: int, scale: float, registry, base,
+                   result, system, quantum: int | None = None) -> dict[str, Any]:
+    """Assemble one kernel run's payload from its measured pass.
+
+    The single payload constructor shared by the serial job runner and
+    the batched sweep driver (:func:`repro.accel.batch.batched_sweep`) —
+    sharing the code is part of what keeps batched sweep points
+    bit-identical to serial ones.
+    """
+    from ..telemetry import cpi_stack
+
     delta = registry.delta(base)
-    # the process-wide accel counters (memo/trace-cache hits) depend on
-    # run history, not on this job — a payload must stay a pure function
-    # of the job so cached/memoized/resumed runs compare byte-identical
+    # accel counters are implementation provenance, not simulation
+    # output: the process-wide ones (memo/trace-cache hits) depend on
+    # run history, and the per-tile coverage ones on which execution
+    # path ran.  A payload must stay a pure function of the job — and
+    # identical whether a config ran the reference models, the solo
+    # engines, or the batched sweep driver — so strip them all
     delta.data.pop("accel", None)
+    for tile_rec in delta.data.get("tiles", []):
+        tile_rec.pop("accel", None)
     stack = cpi_stack(system, result, delta)
     payload: dict[str, Any] = {
         "kind": "kernel",
         "config": cfg.name,
         "workload": kern.spec.name,
-        "seed": job.seed,
+        "seed": seed,
         "scale": scale,
         "core_ghz": cfg.core_ghz,
         "cycles": int(result.cycles),
@@ -381,9 +444,85 @@ def _run_kernel_job_inner(job: Job, attempt: int, ctx: ExecContext,
     }
     if quantum is not None:
         payload["quantum"] = quantum
-    if mkey is not None:
-        memo.memo_put(mkey, payload)
     return payload
+
+
+#: schema stamp for on-disk sweep checkpoints
+_SWEEP_CKPT_SCHEMA = 1
+
+
+def _run_sweep_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
+    """Run one config-batched sweep, checkpointing per completed config.
+
+    The checkpoint is a JSON file of finished per-config payloads keyed
+    by the job's cache key; a retried attempt loads it, skips the
+    completed configs, and batches only the remainder — bit-identically,
+    because each config's simulation is independent (fresh system per
+    config) and payloads are pure JSON trees.  A ``kill`` fault with an
+    ``after=N`` parameter fires once N configs have completed, modelling
+    a worker crash mid-sweep.
+    """
+    import json
+
+    from ..accel.batch import batched_sweep
+    from .cache import cache_key
+
+    configs = job.param("configs")
+    key = cache_key(job)
+    ckpt_file = _checkpoint_file(job, ctx)
+    done: dict[str, dict[str, Any]] = {}
+    if ckpt_file is not None and ckpt_file.exists():
+        try:
+            saved = json.loads(ckpt_file.read_text())
+            if (saved.get("schema") == _SWEEP_CKPT_SCHEMA
+                    and saved.get("key") == key):
+                done = saved["points"]
+                ctx.meta["resumed"] = True
+        except (OSError, ValueError, KeyError):
+            done = {}  # unusable checkpoint: start over
+
+    fault = ctx.fault
+    kill_after = (int(fault.param("after"))
+                  if (fault is not None and fault.kind == "kill"
+                      and fault.param("after") is not None) else None)
+    completed = 0
+
+    def on_point(name: str, payload: dict[str, Any]) -> None:
+        nonlocal completed
+        done[name] = payload
+        completed += 1
+        if ckpt_file is not None and completed % ctx.checkpoint_every == 0:
+            blob = json.dumps({"schema": _SWEEP_CKPT_SCHEMA, "key": key,
+                               "points": done})
+            tmp = ckpt_file.with_suffix(".tmp")
+            tmp.write_text(blob)
+            os.replace(tmp, ckpt_file)
+            ctx.meta["checkpoints"] = ctx.meta.get("checkpoints", 0) + 1
+        if kill_after is not None and completed >= kill_after:
+            from ..reliability.faults import apply_worker_fault
+            apply_worker_fault(fault, in_process=ctx.in_process)
+
+    # on_point fills `done` as configs complete; merging the returned
+    # points too keeps the payload whole even if a future engine path
+    # stops routing every completion through the callback.
+    done.update(batched_sweep(configs, job.workload,
+                              scale=float(job.param("scale", 1.0)),
+                              seed=job.seed,
+                              warmup=bool(job.param("warmup", True)),
+                              on_point=on_point, skip=tuple(done)))
+    if ckpt_file is not None:
+        try:
+            ckpt_file.unlink()
+        except OSError:
+            pass
+    return {
+        "kind": "sweep",
+        "workload": job.workload,
+        "seed": job.seed,
+        "scale": float(job.param("scale", 1.0)),
+        "configs": [cfg.name for cfg in configs],
+        "points": {cfg.name: done[cfg.name] for cfg in configs},
+    }
 
 
 def _run_npb_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any]:
@@ -488,6 +627,7 @@ def _run_selftest_job(job: Job, attempt: int, ctx: ExecContext) -> dict[str, Any
 #: scheduler knowing workload specifics
 JOB_KINDS: dict[str, Callable[[Job, int, ExecContext], dict[str, Any]]] = {
     "kernel": _run_kernel_job,
+    "sweep": _run_sweep_job,
     "npb": _run_npb_job,
     "selftest": _run_selftest_job,
     "checkprog": _run_checkprog_job,

@@ -206,7 +206,8 @@ class System:
                     accel=getattr(cfg, "accel", "off") == "on")
             else:
                 assert cfg.ooo is not None
-                core = OoOCore(cfg.ooo, port, bru)
+                core = OoOCore(cfg.ooo, port, bru,
+                               accel=getattr(cfg, "accel", "off") == "on")
             self.tiles.append(Tile(i, core, port))
 
     # -- instrumentation ------------------------------------------------------

@@ -8,6 +8,7 @@ from repro.check import (
     ALL_TIERS,
     CheckProgram,
     diff_accel,
+    diff_batch,
     diff_checkpoint,
     diff_farm,
     diff_golden,
@@ -48,6 +49,14 @@ def test_checkpoint_tier_clean():
     assert diff_checkpoint(trace, seed=4) == []
 
 
+def test_batch_tier_clean_pinned_pair():
+    """Pinned replay of the batch oracle: a fixed kernel over a fixed
+    in-order/out-of-order config pair, serial vs batched vs a
+    killed-and-resumed batched run."""
+    assert diff_batch("EI", config_names=("Rocket1", "MediumBOOM"),
+                      seed=0, scale=0.1) == []
+
+
 def test_farm_tier_clean(tmp_path):
     progs = [generate_program(s) for s in (0, 1)]
     assert diff_farm(progs) == []
@@ -66,5 +75,5 @@ def test_run_check_rejects_unknown_tier():
 
 
 def test_all_tiers_is_exhaustive():
-    assert set(ALL_TIERS) == {"golden", "lint", "accel", "checkpoint",
-                              "instrument", "farm", "chaos"}
+    assert set(ALL_TIERS) == {"golden", "lint", "accel", "batch",
+                              "checkpoint", "instrument", "farm", "chaos"}
